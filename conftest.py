@@ -1,0 +1,15 @@
+"""Root pytest configuration.
+
+Puts the ``src`` layout on ``sys.path`` so the test and benchmark suites
+run even when the package has not been pip-installed (the reproduction
+environment is offline, where pip's PEP 517 editable path cannot build;
+``pip install -e .`` still works in normal environments via the legacy
+setup.py path).
+"""
+
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))

@@ -1,0 +1,59 @@
+"""Design-space exploration beyond the paper's single evaluation point.
+
+Sweeps junction temperature, process corner and static probability and
+reports how the scheme ranking moves — the questions a user adopting
+these crossbars would ask next.
+
+Run with ``python examples/design_space_exploration.py``.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro import paper_experiment, sweep_parameter  # noqa: E402
+from repro.analysis import render_table  # noqa: E402
+
+SCHEMES = ["SC", "DFC", "DPC", "SDPC"]
+
+
+def print_sweep(parameter: str, values: list, metric: str, title: str) -> None:
+    """Run one sweep and print a scheme-by-value table of ``metric``."""
+    result = sweep_parameter(parameter, values, base_config=paper_experiment(),
+                             scheme_names=SCHEMES)
+    rows = []
+    for name in SCHEMES:
+        series = result.series(name, metric)
+        rows.append([name] + [value for _, value in series])
+    print(render_table(["scheme"] + [str(v) for v in values], rows, title=title))
+    print()
+
+
+def main() -> None:
+    print_sweep(
+        "temperature_celsius", [25.0, 70.0, 110.0],
+        "active_leakage_saving_percent",
+        "Active leakage saving (%) vs junction temperature (C)",
+    )
+    print_sweep(
+        "corner", ["SS", "TT", "FF"],
+        "active_leakage_saving_percent",
+        "Active leakage saving (%) vs process corner",
+    )
+    print_sweep(
+        "static_probability", [0.1, 0.5, 0.9],
+        "total_power_mw",
+        "Total power (mW) vs static probability of logic 1",
+    )
+    print_sweep(
+        "clock_frequency", [1.0e9, 3.0e9, 5.0e9],
+        "total_power_mw",
+        "Total power (mW) vs clock frequency (Hz)",
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,38 @@
+"""Quickstart: evaluate one leakage-aware crossbar and print its headline numbers.
+
+Run with ``python examples/quickstart.py``.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro import create_scheme, default_45nm, evaluate_scheme  # noqa: E402
+from repro.power import format_evaluation  # noqa: E402
+
+
+def main() -> None:
+    # The paper's technology point: 45 nm, 1.0 V, 3 GHz, hot junction.
+    library = default_45nm()
+
+    # Build the Dual-Vt Pre-Charged Crossbar (DPC) at the paper's 5x5 / 128-bit
+    # configuration and collect every Table 1 quantity for it.
+    scheme = create_scheme("DPC", library)
+    evaluation = evaluate_scheme(scheme, static_probability=0.5)
+    print(format_evaluation(evaluation))
+
+    # Compare its leakage against the single-Vt baseline.
+    baseline = evaluate_scheme(create_scheme("SC", library))
+    active_saving = 1 - evaluation.leakage.active_power / baseline.leakage.active_power
+    standby_saving = 1 - evaluation.leakage.standby_power / baseline.leakage.standby_power
+    print()
+    print(f"active leakage saving vs SC:  {active_saving:6.1%}")
+    print(f"standby leakage saving vs SC: {standby_saving:6.1%}")
+    print(f"delay penalty vs SC:          {evaluation.delay.penalty_versus(baseline.delay):6.1%}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+"""Calibration helper: print the Table 1 reproduction for the current defaults.
+
+Run as ``python scripts/calibration_report.py``.  Used during development
+to tune device sizing and technology constants; the same numbers are
+produced by ``examples/crossbar_comparison.py`` through the public API.
+"""
+
+from __future__ import annotations
+
+import math
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.crossbar import create_all_schemes  # noqa: E402
+from repro.technology import default_45nm  # noqa: E402
+
+PAPER = {
+    "SC": dict(hl=61.40, lh=54.87, act=0.0, stby=0.0, idle_cycles=3, total=182.81, pen=0.0),
+    "DFC": dict(hl=51.87, lh=58.17, act=10.13, stby=12.36, idle_cycles=2, total=154.07, pen=0.0),
+    "DPC": dict(hl=53.08, lh=61.25, act=43.70, stby=93.68, idle_cycles=1, total=180.45, pen=0.0),
+    "SDFC": dict(hl=62.81, lh=64.28, act=42.09, stby=43.91, idle_cycles=3, total=122.18, pen=4.69),
+    "SDPC": dict(hl=54.90, lh=62.80, act=63.57, stby=95.96, idle_cycles=1, total=168.55, pen=2.28),
+}
+
+
+def main() -> None:
+    library = default_45nm()
+    schemes = create_all_schemes(library)
+    baseline = schemes["SC"]
+    base_delay = baseline.delay_report()
+    base_active = baseline.active_leakage_power()
+    base_standby = baseline.standby_leakage_power()
+
+    header = (
+        f"{'scheme':<6} {'HL ps':>8} {'LH ps':>8} {'act%':>7} {'stby%':>7} "
+        f"{'pen%':>6} {'idle':>5} {'leak mW':>8} {'dyn mW':>8} {'tot mW':>8}"
+    )
+    print(header)
+    print("-" * len(header))
+    for name, scheme in schemes.items():
+        delay = scheme.delay_report()
+        active = scheme.active_leakage_power()
+        standby = scheme.standby_leakage_power()
+        act_saving = (1.0 - active / base_active) * 100.0
+        stby_saving = (1.0 - standby / base_standby) * 100.0
+        penalty = delay.penalty_versus(base_delay) * 100.0
+        transition = scheme.sleep_transition_energy()
+        saving_power = scheme.standby_power_saving()
+        idle_cycles = (
+            math.ceil(transition / (saving_power * library.clock_period))
+            if saving_power > 0
+            else float("inf")
+        )
+        dynamic = scheme.dynamic_power() * 1e3
+        total = scheme.total_power() * 1e3
+        paper = PAPER[name]
+        print(
+            f"{name:<6} {delay.high_to_low * 1e12:>8.2f} {delay.low_to_high * 1e12:>8.2f} "
+            f"{act_saving:>7.2f} {stby_saving:>7.2f} {penalty:>6.2f} {idle_cycles!s:>5} "
+            f"{active * 1e3:>8.2f} {dynamic:>8.2f} {total:>8.2f}"
+        )
+        print(
+            f"{'paper':<6} {paper['hl']:>8.2f} {paper['lh']:>8.2f} {paper['act']:>7.2f} "
+            f"{paper['stby']:>7.2f} {paper['pen']:>6.2f} {paper['idle_cycles']:>5} "
+            f"{'-':>8} {'-':>8} {paper['total']:>8.2f}"
+        )
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,14 @@
+"""Packaging for the `repro` library.
+
+Metadata lives in ``setup.cfg`` rather than ``pyproject.toml`` on
+purpose: the reproduction environment is fully offline and lacks the
+``wheel`` package, so pip's PEP 517/660 build path (which a
+``pyproject.toml`` triggers, including network-reaching build isolation)
+cannot run.  With only ``setup.py``/``setup.cfg`` present,
+``pip install -e .`` falls back to the legacy editable install, which
+works everywhere with the locally installed setuptools.
+"""
+
+from setuptools import setup
+
+setup()

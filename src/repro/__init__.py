@@ -1,0 +1,69 @@
+"""repro — reproduction of "Leakage-Aware Interconnect for On-Chip Network"
+(Tsai, Narayanan, Xie, Irwin; DATE 2005).
+
+The package implements the paper's five crossbar designs (SC, DFC, DPC,
+SDFC, SDPC) together with every substrate the evaluation needs: a
+predictive 45 nm technology model (ITRS geometry + BPTM-style wire RC +
+dual-Vt MOSFET leakage/drive models), an analytical circuit layer
+(gates, RC trees, Elmore delay, state-dependent leakage), timing and
+dual-Vt assignment, the power analyses of Table 1 (active/standby
+leakage, total power, minimum idle time), and a cycle-based mesh NoC
+simulator with power gating for the architecture-level evaluation.
+
+Quickstart::
+
+    from repro import compare_schemes, paper_experiment
+
+    comparison = compare_schemes(paper_experiment())
+    print(comparison.as_table_text())
+
+See ``DESIGN.md`` for the system inventory and ``EXPERIMENTS.md`` for the
+paper-versus-measured record of every table and figure.
+"""
+
+from .core.comparison import SchemeComparison, compare_schemes
+from .core.config import ExperimentConfig, paper_experiment
+from .core.design_space import sweep_parameter
+from .core.scheme_evaluator import SchemeEvaluator, SchemeResult
+from .crossbar import (
+    CrossbarConfig,
+    CrossbarScheme,
+    PortDirection,
+    available_schemes,
+    create_all_schemes,
+    create_scheme,
+)
+from .errors import ReproError
+from .power import (
+    analyse_leakage,
+    analyse_minimum_idle_time,
+    analyse_total_power,
+    evaluate_scheme,
+)
+from .technology import TechnologyLibrary, default_45nm
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CrossbarConfig",
+    "CrossbarScheme",
+    "ExperimentConfig",
+    "PortDirection",
+    "ReproError",
+    "SchemeComparison",
+    "SchemeEvaluator",
+    "SchemeResult",
+    "TechnologyLibrary",
+    "__version__",
+    "analyse_leakage",
+    "analyse_minimum_idle_time",
+    "analyse_total_power",
+    "available_schemes",
+    "compare_schemes",
+    "create_all_schemes",
+    "create_scheme",
+    "default_45nm",
+    "evaluate_scheme",
+    "paper_experiment",
+    "sweep_parameter",
+]

@@ -1,0 +1,21 @@
+"""Reporting and analysis helpers (DESIGN.md S9)."""
+
+from .figures import (
+    OutputPathStructure,
+    SegmentationStructure,
+    describe_output_path,
+    describe_segmentation,
+)
+from .sweep import SweepSeries, crossover_point, run_sweep
+from .table import render_table
+
+__all__ = [
+    "OutputPathStructure",
+    "SegmentationStructure",
+    "SweepSeries",
+    "crossover_point",
+    "describe_output_path",
+    "describe_segmentation",
+    "render_table",
+    "run_sweep",
+]

@@ -1,0 +1,113 @@
+"""Figure-content extraction.
+
+The paper's three figures are circuit schematics, so "reproducing" them
+means reproducing the quantitative content they encode rather than a
+drawing: the device inventory and Vt partition of one output path
+(Figs. 1 and 2) and the path-1 / path-2 asymmetry of the segmented
+designs (Fig. 3).  The helpers here turn a scheme into those summaries;
+the figure benchmarks print and sanity-check them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..circuit.devices import DeviceRole
+from ..crossbar.base import CrossbarScheme
+from ..errors import ReproError
+from ..technology.transistor import VtFlavor
+
+__all__ = ["OutputPathStructure", "SegmentationStructure", "describe_output_path",
+           "describe_segmentation"]
+
+
+@dataclass(frozen=True)
+class OutputPathStructure:
+    """Structural summary of one output path (Figure 1 / Figure 2 content)."""
+
+    scheme: str
+    device_count: int
+    pass_transistor_count: int
+    has_keeper: bool
+    has_precharge: bool
+    has_sleep: bool
+    high_vt_count: int
+    nominal_vt_count: int
+    high_vt_roles: tuple[str, ...]
+
+    @property
+    def high_vt_fraction(self) -> float:
+        """Fraction of the path's devices that are high-Vt."""
+        if self.device_count == 0:
+            return 0.0
+        return self.high_vt_count / self.device_count
+
+
+@dataclass(frozen=True)
+class SegmentationStructure:
+    """Path-1 / path-2 summary of a segmented scheme (Figure 3 content)."""
+
+    scheme: str
+    near_inputs: int
+    far_inputs: int
+    near_wire_resistance: float
+    near_wire_capacitance: float
+    far_wire_resistance: float
+    far_wire_capacitance: float
+    near_path_delay: float
+    far_path_delay: float
+
+    @property
+    def path_delay_ratio(self) -> float:
+        """Far-path (path 2) delay over near-path (path 1) delay; > 1 by design."""
+        return self.far_path_delay / self.near_path_delay
+
+    @property
+    def near_path_slack_fraction(self) -> float:
+        """Fraction of the far-path delay that the near path does not need."""
+        return 1.0 - self.near_path_delay / self.far_path_delay
+
+
+def describe_output_path(scheme: CrossbarScheme) -> OutputPathStructure:
+    """Summarise the structure of one output path of ``scheme``."""
+    netlist = scheme.output_path_netlist()
+    statistics = netlist.statistics()
+    high_vt_roles = sorted(
+        {
+            device.role.value
+            for device in netlist.devices
+            if device.vt_flavor is VtFlavor.HIGH
+        }
+    )
+    return OutputPathStructure(
+        scheme=scheme.name,
+        device_count=statistics.device_count,
+        pass_transistor_count=statistics.count_by_role.get(DeviceRole.PASS_TRANSISTOR, 0),
+        has_keeper=statistics.count_by_role.get(DeviceRole.KEEPER, 0) > 0,
+        has_precharge=statistics.count_by_role.get(DeviceRole.PRECHARGE, 0) > 0,
+        has_sleep=statistics.count_by_role.get(DeviceRole.SLEEP, 0) > 0,
+        high_vt_count=statistics.count_by_flavor.get(VtFlavor.HIGH, 0),
+        nominal_vt_count=statistics.count_by_flavor.get(VtFlavor.NOMINAL, 0),
+        high_vt_roles=tuple(high_vt_roles),
+    )
+
+
+def describe_segmentation(scheme: CrossbarScheme) -> SegmentationStructure:
+    """Summarise the path-1 / path-2 structure of a segmented scheme."""
+    if not scheme.features.segmented:
+        raise ReproError(f"scheme {scheme.name!r} is not segmented")
+    near = scheme.segmented_row.near
+    far = scheme.segmented_row.far
+    near_stage = scheme._merge_stage(falling=True, far_path=False)
+    far_stage = scheme._merge_stage(falling=True, far_path=True)
+    return SegmentationStructure(
+        scheme=scheme.name,
+        near_inputs=scheme.segmentation_plan.inputs_on_near_segment,
+        far_inputs=scheme.config.inputs_per_output - scheme.segmentation_plan.inputs_on_near_segment,
+        near_wire_resistance=near.resistance,
+        near_wire_capacitance=near.capacitance,
+        far_wire_resistance=far.resistance,
+        far_wire_capacitance=far.capacitance,
+        near_path_delay=near_stage.delay(),
+        far_path_delay=far_stage.delay(),
+    )

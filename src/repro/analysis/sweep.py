@@ -1,0 +1,57 @@
+"""Generic sweep utilities for examples and ablation benchmarks."""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable, Sequence
+from dataclasses import dataclass
+
+from ..errors import ReproError
+
+__all__ = ["SweepSeries", "run_sweep", "crossover_point"]
+
+
+@dataclass(frozen=True)
+class SweepSeries:
+    """One named series of (x, y) points."""
+
+    name: str
+    xs: tuple[float, ...]
+    ys: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.xs) != len(self.ys):
+            raise ReproError("a sweep series needs as many y values as x values")
+        if not self.xs:
+            raise ReproError("a sweep series cannot be empty")
+
+
+def run_sweep(name: str, xs: Sequence[float], function: Callable[[float], float]) -> SweepSeries:
+    """Evaluate ``function`` at every ``x`` and wrap the result as a series."""
+    xs_tuple = tuple(float(x) for x in xs)
+    ys = tuple(float(function(x)) for x in xs_tuple)
+    return SweepSeries(name=name, xs=xs_tuple, ys=ys)
+
+
+def crossover_point(series_a: SweepSeries, series_b: SweepSeries) -> float | None:
+    """X value where ``series_a`` and ``series_b`` cross (linear interpolation).
+
+    Both series must share the same x grid.  Returns ``None`` when one
+    series dominates the other over the whole sweep — callers report
+    "no crossover" in that case, which is itself a result (e.g. "the
+    pre-charged scheme never beats the feedback scheme at any static
+    probability").
+    """
+    if series_a.xs != series_b.xs:
+        raise ReproError("crossover_point requires both series to share the same x grid")
+    differences = [a - b for a, b in zip(series_a.ys, series_b.ys)]
+    for index in range(1, len(differences)):
+        previous, current = differences[index - 1], differences[index]
+        if previous == 0.0:
+            return series_a.xs[index - 1]
+        if previous * current < 0:
+            x0, x1 = series_a.xs[index - 1], series_a.xs[index]
+            fraction = abs(previous) / (abs(previous) + abs(current))
+            return x0 + fraction * (x1 - x0)
+    if differences and differences[-1] == 0.0:
+        return series_a.xs[-1]
+    return None

@@ -1,0 +1,45 @@
+"""Plain-text table rendering used by examples and benchmark output."""
+
+from __future__ import annotations
+
+from ..errors import ReproError
+
+__all__ = ["render_table"]
+
+
+def render_table(headers: list[str], rows: list[list[object]], title: str | None = None) -> str:
+    """Render an aligned, pipe-separated text table.
+
+    Numeric cells are formatted with four significant digits; everything
+    else with ``str``.  The layout is deliberately simple (monospace
+    alignment, one header row) because the output is printed by pytest
+    benchmarks and example scripts, not parsed.
+    """
+    if not headers:
+        raise ReproError("a table needs at least one column")
+    for row in rows:
+        if len(row) != len(headers):
+            raise ReproError(
+                f"row has {len(row)} cells but the table has {len(headers)} columns"
+            )
+
+    def format_cell(value: object) -> str:
+        if isinstance(value, bool):
+            return "yes" if value else "no"
+        if isinstance(value, float):
+            return f"{value:.4g}"
+        return str(value)
+
+    formatted = [[format_cell(cell) for cell in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in formatted)) if formatted else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(header.ljust(width) for header, width in zip(headers, widths)))
+    lines.append("-+-".join("-" * width for width in widths))
+    for row in formatted:
+        lines.append(" | ".join(cell.ljust(width) for cell, width in zip(row, widths)))
+    return "\n".join(lines)

@@ -1,0 +1,62 @@
+"""Circuit substrate: netlists, gates, RC delay and state-dependent leakage.
+
+See ``DESIGN.md`` S2.  This layer replaces the paper's SPICE decks with
+analytical models of the same circuits.
+"""
+
+from .biasing import OFF_OVERLAP_GATE_FRACTION, leakage_from_node_voltages
+from .devices import DeviceInstance, DeviceRole
+from .dynamic import (
+    contention_energy,
+    dynamic_power,
+    precharge_energy_per_cycle,
+    switching_energy,
+)
+from .gates import (
+    Buffer,
+    Inverter,
+    Keeper,
+    Nand2,
+    Nor2,
+    PassTransistorSwitch,
+    PrechargeTransistor,
+    SleepTransistor,
+    TransmissionGate,
+)
+from .leakage import BiasState, LeakageBreakdown, StateLeakage, device_leakage
+from .netlist import GROUND_NET, SUPPLY_NET, Netlist, NetlistStatistics
+from .rc_network import LN2, RCTree, lumped_stage_delay
+from .transient import RCTransientSolver, TransientResult
+
+__all__ = [
+    "BiasState",
+    "Buffer",
+    "DeviceInstance",
+    "DeviceRole",
+    "GROUND_NET",
+    "Inverter",
+    "Keeper",
+    "LN2",
+    "LeakageBreakdown",
+    "Nand2",
+    "Netlist",
+    "NetlistStatistics",
+    "Nor2",
+    "OFF_OVERLAP_GATE_FRACTION",
+    "PassTransistorSwitch",
+    "PrechargeTransistor",
+    "RCTransientSolver",
+    "RCTree",
+    "SUPPLY_NET",
+    "SleepTransistor",
+    "StateLeakage",
+    "TransientResult",
+    "TransmissionGate",
+    "contention_energy",
+    "device_leakage",
+    "dynamic_power",
+    "leakage_from_node_voltages",
+    "lumped_stage_delay",
+    "precharge_energy_per_cycle",
+    "switching_energy",
+]

@@ -1,0 +1,85 @@
+"""Structural device instances.
+
+The electrical behaviour of a transistor lives in
+:class:`repro.technology.transistor.Mosfet`; this module wraps it with
+the *structural* information a netlist needs: an instance name, the nets
+its terminals connect to, and a functional role tag.  Role tags are what
+the figure-reproduction benchmarks aggregate over ("how many pass
+transistors, keepers, sleep devices, driver devices does each scheme
+instantiate, and which of them are high-Vt?").
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..errors import CircuitError
+from ..technology.transistor import Mosfet, Polarity, VtFlavor
+
+__all__ = ["DeviceRole", "DeviceInstance"]
+
+
+class DeviceRole(enum.Enum):
+    """Functional role of a device inside a crossbar output path."""
+
+    PASS_TRANSISTOR = "pass_transistor"
+    SLEEP = "sleep"
+    PRECHARGE = "precharge"
+    KEEPER = "keeper"
+    DRIVER = "driver"
+    INPUT_DRIVER = "input_driver"
+    SEGMENT_SWITCH = "segment_switch"
+    CONTROL = "control"
+    OTHER = "other"
+
+
+@dataclass(frozen=True)
+class DeviceInstance:
+    """One transistor instance in a netlist.
+
+    Attributes
+    ----------
+    name:
+        Unique instance name within its netlist (e.g. ``"out_PE.bit0.N1"``).
+    mosfet:
+        The sized electrical model.
+    gate, drain, source:
+        Net names the terminals connect to.  The body terminal is tied to
+        the appropriate rail implicitly.
+    role:
+        Functional role tag used for reporting.
+    """
+
+    name: str
+    mosfet: Mosfet
+    gate: str
+    drain: str
+    source: str
+    role: DeviceRole = DeviceRole.OTHER
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise CircuitError("device instance name cannot be empty")
+        for terminal in (self.gate, self.drain, self.source):
+            if not terminal:
+                raise CircuitError(f"device {self.name!r} has an empty terminal net name")
+
+    @property
+    def polarity(self) -> Polarity:
+        """Channel polarity of the device."""
+        return self.mosfet.polarity
+
+    @property
+    def vt_flavor(self) -> VtFlavor:
+        """Threshold-voltage flavor of the device."""
+        return self.mosfet.vt_flavor
+
+    @property
+    def width(self) -> float:
+        """Drawn width in metres."""
+        return self.mosfet.width
+
+    def terminals(self) -> tuple[str, str, str]:
+        """The (gate, drain, source) net names."""
+        return (self.gate, self.drain, self.source)

@@ -1,0 +1,100 @@
+"""Dynamic (switching) power models.
+
+Three dynamic components matter for the paper's Table 1:
+
+* **Switching energy** of the capacitances toggled by data transitions
+  (input wires, the crossbar merge node, driver internal nodes, output
+  wires): the familiar ``alpha * C * Vdd^2 * f``.
+* **Contention (crowbar) energy** burned when a transition must fight a
+  keeper or another weak opposing device: the keeper sources current for
+  the duration of the transition, and that charge is drawn from the
+  supply.  The dual-Vt schemes weaken the keeper (high-Vt), which is one
+  of the reasons their *total* power drops by more than the leakage
+  savings alone would suggest.
+* **Pre-charge energy** of the DPC/SDPC schemes: every cycle in which
+  the output was left low, the pre-charge device must pull the wire back
+  to Vdd, so the pre-charge penalty grows with the probability of the
+  "0" state — which is why the paper quotes 50 % static probability as
+  the worst case.
+"""
+
+from __future__ import annotations
+
+from ..errors import PowerError
+
+__all__ = [
+    "switching_energy",
+    "dynamic_power",
+    "contention_energy",
+    "precharge_energy_per_cycle",
+]
+
+
+def switching_energy(capacitance: float, supply_voltage: float) -> float:
+    """Energy (joules) drawn from the supply to charge ``capacitance`` to Vdd.
+
+    The canonical ``C * Vdd^2`` figure; half is stored on the capacitor
+    and half is dissipated in the charging device.  Discharging
+    dissipates the stored half, so over a full charge/discharge cycle the
+    supply delivers exactly this energy.
+    """
+    if capacitance < 0:
+        raise PowerError(f"capacitance cannot be negative, got {capacitance}")
+    if supply_voltage <= 0:
+        raise PowerError("supply voltage must be positive")
+    return capacitance * supply_voltage**2
+
+
+def dynamic_power(
+    capacitance: float,
+    supply_voltage: float,
+    frequency: float,
+    activity_factor: float,
+) -> float:
+    """Average switching power (watts).
+
+    ``activity_factor`` is the probability that the node makes an
+    energy-drawing (low-to-high) transition in a given cycle; 0.5
+    corresponds to random data toggling every other cycle on average.
+    """
+    if frequency <= 0:
+        raise PowerError("frequency must be positive")
+    if not 0.0 <= activity_factor <= 1.0:
+        raise PowerError(f"activity factor must be in [0, 1], got {activity_factor}")
+    return switching_energy(capacitance, supply_voltage) * frequency * activity_factor
+
+
+def contention_energy(opposing_current: float, transition_time: float, supply_voltage: float) -> float:
+    """Energy (joules) burned fighting an opposing device during one transition.
+
+    While a transition is in flight for ``transition_time`` seconds, the
+    opposing device (keeper, level restorer) sources ``opposing_current``
+    from the supply straight into the driving device.  The integral is
+    approximated as the rectangle ``I * t * Vdd``; the factor-of-two-ish
+    shape error is far below the modelling error of the current itself
+    and is absorbed by calibration.
+    """
+    if opposing_current < 0:
+        raise PowerError("opposing current cannot be negative")
+    if transition_time < 0:
+        raise PowerError("transition time cannot be negative")
+    if supply_voltage <= 0:
+        raise PowerError("supply voltage must be positive")
+    return opposing_current * transition_time * supply_voltage
+
+
+def precharge_energy_per_cycle(
+    wire_capacitance: float,
+    supply_voltage: float,
+    probability_discharged: float,
+) -> float:
+    """Average energy (joules per cycle) spent restoring a pre-charged wire.
+
+    A pre-charged-high wire only costs energy when the previous
+    evaluation left it low, which happens with probability
+    ``probability_discharged`` (the static probability of a logic 0 for
+    a pre-charged-high design).
+    """
+    if not 0.0 <= probability_discharged <= 1.0:
+        raise PowerError("probability must be in [0, 1]")
+    return switching_energy(wire_capacitance, supply_voltage) * probability_discharged

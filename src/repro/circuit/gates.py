@@ -1,0 +1,481 @@
+"""Gate-level building blocks used by the crossbar generators.
+
+Each class combines the small number of transistors making up one
+circuit idiom from the paper's Figures 1-3 — CMOS inverters/buffers for
+the wire drivers (I1, I2), NMOS pass transistors for the crossbar switch
+points (N1-N4), the shared sleep transistor (N5), the pre-charge PMOS
+(P1 in Fig. 2), and the feedback keeper (P1 in Fig. 1) — and exposes the
+three things the analysis layers need from it:
+
+* **Electrical figures** for delay: input capacitance, output (diffusion)
+  capacitance, pull-up / pull-down effective resistance.
+* **Leakage** as a function of the logic state of its terminals, via
+  :func:`repro.circuit.biasing.leakage_from_node_voltages`.
+* **Structure**: a list of :class:`~repro.circuit.devices.DeviceInstance`
+  suitable for insertion into a :class:`~repro.circuit.netlist.Netlist`.
+
+Widths are always explicit constructor arguments; the schemes own the
+sizing decisions.
+"""
+
+from __future__ import annotations
+
+from ..errors import CircuitError
+from ..technology.library import TechnologyLibrary
+from ..technology.transistor import Mosfet, Polarity, VtFlavor
+from .biasing import leakage_from_node_voltages
+from .devices import DeviceInstance, DeviceRole
+from .leakage import LeakageBreakdown
+from .netlist import GROUND_NET, SUPPLY_NET
+
+__all__ = [
+    "Inverter",
+    "Buffer",
+    "PassTransistorSwitch",
+    "TransmissionGate",
+    "SleepTransistor",
+    "PrechargeTransistor",
+    "Keeper",
+    "Nand2",
+    "Nor2",
+]
+
+
+def _level(value: bool, vdd: float) -> float:
+    """Logic value to rail voltage."""
+    return vdd if value else 0.0
+
+
+class Inverter:
+    """A static CMOS inverter with independently chosen Vt per device.
+
+    The asymmetric-Vt driver inverters of the DPC/SDPC schemes are
+    expressed by passing different flavors for the NMOS and PMOS.
+    """
+
+    def __init__(
+        self,
+        library: TechnologyLibrary,
+        nmos_width: float,
+        pmos_width: float,
+        nmos_flavor: VtFlavor = VtFlavor.NOMINAL,
+        pmos_flavor: VtFlavor = VtFlavor.NOMINAL,
+        name: str = "inv",
+    ) -> None:
+        self.library = library
+        self.name = name
+        self.nmos: Mosfet = library.make_transistor(Polarity.NMOS, nmos_flavor, nmos_width)
+        self.pmos: Mosfet = library.make_transistor(Polarity.PMOS, pmos_flavor, pmos_width)
+
+    # -- electrical ------------------------------------------------------------
+    def input_capacitance(self) -> float:
+        """Capacitance presented to whatever drives this inverter (farads)."""
+        return self.nmos.gate_capacitance() + self.pmos.gate_capacitance()
+
+    def output_capacitance(self) -> float:
+        """Self-loading diffusion capacitance on the output (farads)."""
+        return self.nmos.diffusion_capacitance() + self.pmos.diffusion_capacitance()
+
+    def pull_down_resistance(self) -> float:
+        """Effective resistance when the output falls (ohms)."""
+        return self.nmos.effective_resistance()
+
+    def pull_up_resistance(self) -> float:
+        """Effective resistance when the output rises (ohms)."""
+        return self.pmos.effective_resistance()
+
+    # -- leakage -----------------------------------------------------------------
+    def leakage(self, input_is_high: bool) -> LeakageBreakdown:
+        """Leakage with the input parked at a rail."""
+        vdd = self.library.supply_voltage
+        vin = _level(input_is_high, vdd)
+        vout = _level(not input_is_high, vdd)
+        nmos = leakage_from_node_voltages(self.nmos, vin, vout, 0.0)
+        pmos = leakage_from_node_voltages(self.pmos, vin, vout, vdd)
+        return nmos + pmos
+
+    def average_leakage(self, probability_input_high: float = 0.5) -> LeakageBreakdown:
+        """State-probability-weighted leakage."""
+        if not 0.0 <= probability_input_high <= 1.0:
+            raise CircuitError("probability must be in [0, 1]")
+        high = self.leakage(True).scaled(probability_input_high)
+        low = self.leakage(False).scaled(1.0 - probability_input_high)
+        return high + low
+
+    # -- structure ------------------------------------------------------------------
+    def devices(self, input_net: str, output_net: str, prefix: str,
+                role: DeviceRole = DeviceRole.DRIVER) -> list[DeviceInstance]:
+        """Structural device instances for a netlist."""
+        return [
+            DeviceInstance(f"{prefix}.{self.name}.mp", self.pmos, input_net, output_net, SUPPLY_NET, role),
+            DeviceInstance(f"{prefix}.{self.name}.mn", self.nmos, input_net, output_net, GROUND_NET, role),
+        ]
+
+    def transistors(self) -> dict[str, Mosfet]:
+        """Named transistors (for tests and reports)."""
+        return {"nmos": self.nmos, "pmos": self.pmos}
+
+
+class Buffer:
+    """Two cascaded inverters: the paper's I1-I2 output driver."""
+
+    def __init__(self, first: Inverter, second: Inverter, name: str = "buf") -> None:
+        self.first = first
+        self.second = second
+        self.name = name
+
+    def input_capacitance(self) -> float:
+        """Capacitance presented at the buffer input (farads)."""
+        return self.first.input_capacitance()
+
+    def intermediate_capacitance(self) -> float:
+        """Capacitance on the internal node between the two inverters."""
+        return self.first.output_capacitance() + self.second.input_capacitance()
+
+    def output_capacitance(self) -> float:
+        """Diffusion capacitance on the buffer output."""
+        return self.second.output_capacitance()
+
+    def leakage(self, input_is_high: bool) -> LeakageBreakdown:
+        """Leakage with the input parked at a rail (internal node follows)."""
+        return self.first.leakage(input_is_high) + self.second.leakage(not input_is_high)
+
+    def average_leakage(self, probability_input_high: float = 0.5) -> LeakageBreakdown:
+        """State-probability-weighted leakage."""
+        high = self.leakage(True).scaled(probability_input_high)
+        low = self.leakage(False).scaled(1.0 - probability_input_high)
+        return high + low
+
+    def devices(self, input_net: str, output_net: str, prefix: str,
+                role: DeviceRole = DeviceRole.DRIVER) -> list[DeviceInstance]:
+        """Structural devices; the internal net is ``<prefix>.<name>.mid``."""
+        internal = f"{prefix}.{self.name}.mid"
+        return self.first.devices(input_net, internal, f"{prefix}.{self.name}.i1", role) + \
+            self.second.devices(internal, output_net, f"{prefix}.{self.name}.i2", role)
+
+
+class PassTransistorSwitch:
+    """An NMOS pass transistor: one crosspoint of the matrix crossbar.
+
+    The gate is driven by the arbiter's grant signal; drain and source
+    connect the input wire to the shared output (merge) node.
+    """
+
+    def __init__(self, library: TechnologyLibrary, width: float,
+                 flavor: VtFlavor = VtFlavor.NOMINAL, name: str = "pass") -> None:
+        self.library = library
+        self.name = name
+        self.nmos: Mosfet = library.make_transistor(Polarity.NMOS, flavor, width)
+
+    def on_resistance(self) -> float:
+        """Channel resistance when granted (ohms), with pass-gate degradation."""
+        return self.nmos.pass_resistance()
+
+    def grant_capacitance(self) -> float:
+        """Capacitance presented to the grant (gate) line."""
+        return self.nmos.gate_capacitance()
+
+    def terminal_capacitance(self) -> float:
+        """Diffusion capacitance added to each of the two connected nets."""
+        return self.nmos.diffusion_capacitance()
+
+    def leakage(self, granted: bool, input_voltage: float, output_voltage: float) -> LeakageBreakdown:
+        """Leakage for the given grant state and terminal voltages."""
+        vdd = self.library.supply_voltage
+        gate = _level(granted, vdd)
+        return leakage_from_node_voltages(self.nmos, gate, input_voltage, output_voltage)
+
+    def devices(self, grant_net: str, input_net: str, output_net: str, prefix: str,
+                role: DeviceRole = DeviceRole.PASS_TRANSISTOR) -> list[DeviceInstance]:
+        """Structural device instance (``role`` distinguishes crosspoints from segment switches)."""
+        return [
+            DeviceInstance(
+                f"{prefix}.{self.name}", self.nmos, grant_net, output_net, input_net, role,
+            )
+        ]
+
+
+class TransmissionGate:
+    """Complementary NMOS + PMOS pass structure (full-swing crosspoint).
+
+    Not used by the paper's schemes (they use single NMOS devices plus a
+    keeper or pre-charge), but provided so the design-space exploration
+    can quantify what the paper gave up by not paying for the PMOS.
+    """
+
+    def __init__(self, library: TechnologyLibrary, nmos_width: float, pmos_width: float,
+                 flavor: VtFlavor = VtFlavor.NOMINAL, name: str = "tgate") -> None:
+        self.library = library
+        self.name = name
+        self.nmos = library.make_transistor(Polarity.NMOS, flavor, nmos_width)
+        self.pmos = library.make_transistor(Polarity.PMOS, flavor, pmos_width)
+
+    def on_resistance(self) -> float:
+        """Parallel channel resistance when enabled (ohms)."""
+        rn = self.nmos.effective_resistance()
+        rp = self.pmos.effective_resistance()
+        return rn * rp / (rn + rp)
+
+    def grant_capacitance(self) -> float:
+        """Total gate capacitance across both control inputs."""
+        return self.nmos.gate_capacitance() + self.pmos.gate_capacitance()
+
+    def terminal_capacitance(self) -> float:
+        """Diffusion capacitance added to each connected net."""
+        return self.nmos.diffusion_capacitance() + self.pmos.diffusion_capacitance()
+
+    def leakage(self, granted: bool, input_voltage: float, output_voltage: float) -> LeakageBreakdown:
+        """Leakage for the given enable state and terminal voltages."""
+        vdd = self.library.supply_voltage
+        n_gate = _level(granted, vdd)
+        p_gate = _level(not granted, vdd)
+        nmos = leakage_from_node_voltages(self.nmos, n_gate, input_voltage, output_voltage)
+        pmos = leakage_from_node_voltages(self.pmos, p_gate, input_voltage, output_voltage)
+        return nmos + pmos
+
+    def devices(self, grant_net: str, grant_bar_net: str, input_net: str, output_net: str,
+                prefix: str) -> list[DeviceInstance]:
+        """Structural device instances."""
+        return [
+            DeviceInstance(f"{prefix}.{self.name}.mn", self.nmos, grant_net, output_net, input_net,
+                           DeviceRole.PASS_TRANSISTOR),
+            DeviceInstance(f"{prefix}.{self.name}.mp", self.pmos, grant_bar_net, output_net, input_net,
+                           DeviceRole.PASS_TRANSISTOR),
+        ]
+
+
+class SleepTransistor:
+    """The N5 device of Figures 1-3: an NMOS that forces the merge node to GND.
+
+    When the router has been idle long enough, ``sleep`` is raised and
+    the merge node (node A) is pulled to ground, collapsing the voltage
+    across the pass-transistor gate oxides and parking the driver in a
+    known state.
+    """
+
+    def __init__(self, library: TechnologyLibrary, width: float,
+                 flavor: VtFlavor = VtFlavor.HIGH, name: str = "sleep") -> None:
+        self.library = library
+        self.name = name
+        self.nmos: Mosfet = library.make_transistor(Polarity.NMOS, flavor, width)
+
+    def on_resistance(self) -> float:
+        """Resistance with which the merge node is pulled down in standby."""
+        return self.nmos.effective_resistance()
+
+    def control_capacitance(self) -> float:
+        """Capacitance the sleep-control driver must switch."""
+        return self.nmos.gate_capacitance()
+
+    def node_capacitance(self) -> float:
+        """Diffusion capacitance it adds to the merge node."""
+        return self.nmos.diffusion_capacitance()
+
+    def leakage(self, sleeping: bool, node_voltage: float) -> LeakageBreakdown:
+        """Leakage of the sleep device itself."""
+        vdd = self.library.supply_voltage
+        gate = _level(sleeping, vdd)
+        return leakage_from_node_voltages(self.nmos, gate, node_voltage, 0.0)
+
+    def devices(self, sleep_net: str, node_net: str, prefix: str) -> list[DeviceInstance]:
+        """Structural device instance."""
+        return [
+            DeviceInstance(f"{prefix}.{self.name}", self.nmos, sleep_net, node_net, GROUND_NET,
+                           DeviceRole.SLEEP)
+        ]
+
+
+class PrechargeTransistor:
+    """The clocked PMOS (P1 of Fig. 2) that pre-charges the merge node to Vdd.
+
+    Active-low control: the device conducts while ``pre`` is low (the
+    negative clock phase).  When the arbiter has no requests, or in sleep
+    mode, ``pre`` is held high to stop the pre-charge activity.
+    """
+
+    def __init__(self, library: TechnologyLibrary, width: float,
+                 flavor: VtFlavor = VtFlavor.HIGH, name: str = "precharge") -> None:
+        self.library = library
+        self.name = name
+        self.pmos: Mosfet = library.make_transistor(Polarity.PMOS, flavor, width)
+
+    def on_resistance(self) -> float:
+        """Resistance through which the node is pre-charged."""
+        return self.pmos.effective_resistance()
+
+    def control_capacitance(self) -> float:
+        """Clock load added by the pre-charge gate."""
+        return self.pmos.gate_capacitance()
+
+    def node_capacitance(self) -> float:
+        """Diffusion capacitance it adds to the pre-charged node."""
+        return self.pmos.diffusion_capacitance()
+
+    def leakage(self, precharging: bool, node_voltage: float) -> LeakageBreakdown:
+        """Leakage of the pre-charge device for the given phase and node value."""
+        vdd = self.library.supply_voltage
+        gate = _level(not precharging, vdd)  # active-low control
+        return leakage_from_node_voltages(self.pmos, gate, node_voltage, vdd)
+
+    def devices(self, precharge_net: str, node_net: str, prefix: str) -> list[DeviceInstance]:
+        """Structural device instance."""
+        return [
+            DeviceInstance(f"{prefix}.{self.name}", self.pmos, precharge_net, node_net, SUPPLY_NET,
+                           DeviceRole.PRECHARGE)
+        ]
+
+
+class Keeper:
+    """The feedback level-restoring PMOS (P1 of Fig. 1).
+
+    Its gate is driven by the first driver inverter's output, so it turns
+    on whenever the merge node is high, restoring the ``Vdd - Vt`` level
+    the NMOS pass transistor leaves behind.  The cost is contention: any
+    high-to-low transition of the merge node must overpower it, burning
+    crowbar current and slowing the edge.  Making the keeper high-Vt (the
+    DFC/SDFC choice) weakens it, reducing both penalties at the price of
+    a slower level restore.
+    """
+
+    def __init__(self, library: TechnologyLibrary, width: float,
+                 flavor: VtFlavor = VtFlavor.NOMINAL, name: str = "keeper") -> None:
+        self.library = library
+        self.name = name
+        self.pmos: Mosfet = library.make_transistor(Polarity.PMOS, flavor, width)
+
+    def opposing_current(self) -> float:
+        """Current (amperes) the keeper sources against a falling merge node."""
+        return self.pmos.saturation_current()
+
+    def restore_resistance(self) -> float:
+        """Resistance with which the keeper completes a rising merge node."""
+        return self.pmos.effective_resistance()
+
+    def node_capacitance(self) -> float:
+        """Diffusion capacitance added to the merge node."""
+        return self.pmos.diffusion_capacitance()
+
+    def feedback_capacitance(self) -> float:
+        """Gate capacitance added to the feedback (driver-internal) node."""
+        return self.pmos.gate_capacitance()
+
+    def leakage(self, node_is_high: bool) -> LeakageBreakdown:
+        """Leakage of the keeper for the given merge-node value.
+
+        When the node is high the keeper is on (gate low) — it gate-leaks
+        but cannot sub-threshold leak.  When the node is low the keeper
+        is off with the full supply across it.
+        """
+        vdd = self.library.supply_voltage
+        node = _level(node_is_high, vdd)
+        gate = _level(not node_is_high, vdd)  # feedback inverts the node
+        return leakage_from_node_voltages(self.pmos, gate, node, vdd)
+
+    def devices(self, feedback_net: str, node_net: str, prefix: str) -> list[DeviceInstance]:
+        """Structural device instance."""
+        return [
+            DeviceInstance(f"{prefix}.{self.name}", self.pmos, feedback_net, node_net, SUPPLY_NET,
+                           DeviceRole.KEEPER)
+        ]
+
+
+class _TwoInputGate:
+    """Shared machinery for NAND2/NOR2 control gates."""
+
+    def __init__(self, library: TechnologyLibrary, nmos_width: float, pmos_width: float,
+                 flavor: VtFlavor, name: str) -> None:
+        self.library = library
+        self.name = name
+        self.nmos_a = library.make_transistor(Polarity.NMOS, flavor, nmos_width)
+        self.nmos_b = library.make_transistor(Polarity.NMOS, flavor, nmos_width)
+        self.pmos_a = library.make_transistor(Polarity.PMOS, flavor, pmos_width)
+        self.pmos_b = library.make_transistor(Polarity.PMOS, flavor, pmos_width)
+
+    def input_capacitance(self) -> float:
+        """Capacitance per input pin."""
+        return self.nmos_a.gate_capacitance() + self.pmos_a.gate_capacitance()
+
+    def output_capacitance(self) -> float:
+        """Diffusion capacitance on the output node."""
+        return (
+            self.nmos_a.diffusion_capacitance()
+            + self.pmos_a.diffusion_capacitance()
+            + self.pmos_b.diffusion_capacitance()
+        )
+
+
+class Nand2(_TwoInputGate):
+    """Two-input NAND used in the sleep/pre-charge control logic."""
+
+    def __init__(self, library: TechnologyLibrary, nmos_width: float, pmos_width: float,
+                 flavor: VtFlavor = VtFlavor.NOMINAL, name: str = "nand2") -> None:
+        super().__init__(library, nmos_width, pmos_width, flavor, name)
+
+    def pull_down_resistance(self) -> float:
+        """Worst-case (series stack) pull-down resistance."""
+        return self.nmos_a.effective_resistance() + self.nmos_b.effective_resistance()
+
+    def pull_up_resistance(self) -> float:
+        """Worst-case (single device) pull-up resistance."""
+        return self.pmos_a.effective_resistance()
+
+    def leakage(self, a_high: bool, b_high: bool) -> LeakageBreakdown:
+        """Leakage for a specific input combination."""
+        vdd = self.library.supply_voltage
+        va, vb = _level(a_high, vdd), _level(b_high, vdd)
+        out_low = a_high and b_high
+        vout = _level(not out_low, vdd)
+        # Series NMOS stack: internal node sits near ground unless both are off.
+        stack_depth = 2 if (not a_high and not b_high) else 1
+        internal = 0.0
+        result = leakage_from_node_voltages(self.nmos_a, va, internal, 0.0, stack_depth)
+        result = result + leakage_from_node_voltages(self.nmos_b, vb, vout, internal, stack_depth)
+        result = result + leakage_from_node_voltages(self.pmos_a, va, vout, vdd)
+        result = result + leakage_from_node_voltages(self.pmos_b, vb, vout, vdd)
+        return result
+
+    def average_leakage(self) -> LeakageBreakdown:
+        """Leakage averaged over the four equiprobable input states."""
+        total = LeakageBreakdown.zero()
+        for a_high in (False, True):
+            for b_high in (False, True):
+                total = total + self.leakage(a_high, b_high).scaled(0.25)
+        return total
+
+
+class Nor2(_TwoInputGate):
+    """Two-input NOR used in the request-detection logic of the DPC scheme."""
+
+    def __init__(self, library: TechnologyLibrary, nmos_width: float, pmos_width: float,
+                 flavor: VtFlavor = VtFlavor.NOMINAL, name: str = "nor2") -> None:
+        super().__init__(library, nmos_width, pmos_width, flavor, name)
+
+    def pull_down_resistance(self) -> float:
+        """Worst-case (single device) pull-down resistance."""
+        return self.nmos_a.effective_resistance()
+
+    def pull_up_resistance(self) -> float:
+        """Worst-case (series stack) pull-up resistance."""
+        return self.pmos_a.effective_resistance() + self.pmos_b.effective_resistance()
+
+    def leakage(self, a_high: bool, b_high: bool) -> LeakageBreakdown:
+        """Leakage for a specific input combination."""
+        vdd = self.library.supply_voltage
+        va, vb = _level(a_high, vdd), _level(b_high, vdd)
+        out_high = not (a_high or b_high)
+        vout = _level(out_high, vdd)
+        stack_depth = 2 if (a_high and b_high) else 1
+        internal = vdd
+        result = leakage_from_node_voltages(self.pmos_a, va, internal, vdd, stack_depth)
+        result = result + leakage_from_node_voltages(self.pmos_b, vb, vout, internal, stack_depth)
+        result = result + leakage_from_node_voltages(self.nmos_a, va, vout, 0.0)
+        result = result + leakage_from_node_voltages(self.nmos_b, vb, vout, 0.0)
+        return result
+
+    def average_leakage(self) -> LeakageBreakdown:
+        """Leakage averaged over the four equiprobable input states."""
+        total = LeakageBreakdown.zero()
+        for a_high in (False, True):
+            for b_high in (False, True):
+                total = total + self.leakage(a_high, b_high).scaled(0.25)
+        return total

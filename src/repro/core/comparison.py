@@ -1,0 +1,110 @@
+"""The Table 1 comparison engine.
+
+Evaluates every scheme under one experiment configuration and assembles
+the paper's Table 1: delays, savings relative to SC, minimum idle times
+and total power, plus a rendered text table and a machine-readable dict
+the benchmarks assert against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..crossbar.factory import available_schemes
+from ..errors import ConfigurationError
+from ..power.report import format_table1
+from ..power.savings import SchemeEvaluation, SchemeSavings, savings_versus_baseline
+from ..units import seconds_to_picoseconds, watts_to_milliwatts
+from .config import ExperimentConfig
+from .scheme_evaluator import SchemeEvaluator, SchemeResult
+
+__all__ = ["SchemeComparison", "compare_schemes"]
+
+
+@dataclass
+class SchemeComparison:
+    """All schemes evaluated under one configuration, relative to a baseline."""
+
+    baseline_name: str
+    results: dict[str, SchemeResult] = field(default_factory=dict)
+    savings: dict[str, SchemeSavings] = field(default_factory=dict)
+
+    @property
+    def scheme_names(self) -> list[str]:
+        """Scheme names in evaluation order (Table 1 order)."""
+        return list(self.results)
+
+    def evaluation(self, name: str) -> SchemeEvaluation:
+        """Raw evaluation of one scheme."""
+        try:
+            return self.results[name].evaluation
+        except KeyError as exc:
+            raise ConfigurationError(f"scheme {name!r} was not part of this comparison") from exc
+
+    def saving(self, name: str) -> SchemeSavings:
+        """Savings of one non-baseline scheme relative to the baseline."""
+        try:
+            return self.savings[name]
+        except KeyError as exc:
+            raise ConfigurationError(
+                f"scheme {name!r} has no savings entry (is it the baseline?)"
+            ) from exc
+
+    def as_table_text(self) -> str:
+        """Render the comparison in the layout of the paper's Table 1."""
+        evaluations = {name: result.evaluation for name, result in self.results.items()}
+        return format_table1(evaluations, self.savings, baseline_name=self.baseline_name)
+
+    def as_records(self) -> list[dict[str, float | str]]:
+        """One flat record per scheme — what the benchmark harness prints."""
+        records: list[dict[str, float | str]] = []
+        for name, result in self.results.items():
+            evaluation = result.evaluation
+            saving = self.savings.get(name)
+            records.append(
+                {
+                    "scheme": name,
+                    "high_to_low_ps": seconds_to_picoseconds(evaluation.delay.high_to_low),
+                    "low_to_high_ps": seconds_to_picoseconds(evaluation.delay.low_to_high),
+                    "active_leakage_mw": watts_to_milliwatts(evaluation.leakage.active_power),
+                    "standby_leakage_mw": watts_to_milliwatts(evaluation.leakage.standby_power),
+                    "active_leakage_saving_percent": (
+                        saving.active_leakage_saving * 100.0 if saving else 0.0
+                    ),
+                    "standby_leakage_saving_percent": (
+                        saving.standby_leakage_saving * 100.0 if saving else 0.0
+                    ),
+                    "minimum_idle_cycles": evaluation.idle_time.minimum_idle_cycles,
+                    "total_power_mw": watts_to_milliwatts(evaluation.total_power.total),
+                    "delay_penalty_percent": (
+                        saving.delay_penalty * 100.0 if saving else 0.0
+                    ),
+                    "high_vt_device_fraction": result.high_vt_device_fraction,
+                }
+            )
+        return records
+
+
+def compare_schemes(
+    config: ExperimentConfig | None = None,
+    scheme_names: list[str] | None = None,
+    baseline_name: str = "SC",
+) -> SchemeComparison:
+    """Evaluate ``scheme_names`` (default: all) and compare against ``baseline_name``."""
+    evaluator = SchemeEvaluator(config)
+    names = scheme_names if scheme_names is not None else available_schemes()
+    if baseline_name not in names:
+        raise ConfigurationError(
+            f"baseline {baseline_name!r} must be among the evaluated schemes {names}"
+        )
+    comparison = SchemeComparison(baseline_name=baseline_name)
+    for name in names:
+        comparison.results[name] = evaluator.evaluate(name)
+    baseline = comparison.results[baseline_name].evaluation
+    for name in names:
+        if name == baseline_name:
+            continue
+        comparison.savings[name] = savings_versus_baseline(
+            comparison.results[name].evaluation, baseline
+        )
+    return comparison

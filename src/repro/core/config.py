@@ -1,0 +1,62 @@
+"""Experiment configuration: the paper's evaluation point in one object.
+
+The paper's experiments are fully described by a handful of numbers —
+45 nm technology, a 5x5 crossbar, 128-bit flits, 3 GHz, 50 % static
+probability, worst-case random data — plus the modelling temperature and
+corner.  :class:`ExperimentConfig` bundles them so every benchmark,
+example and test refers to a single source of truth, and alternative
+points (other nodes, corners, crossbar radixes) are one ``replace`` away.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from ..crossbar.ports import CrossbarConfig
+from ..errors import ConfigurationError
+from ..technology.library import TechnologyLibrary, default_library_for_node
+
+__all__ = ["ExperimentConfig", "paper_experiment"]
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Everything needed to reproduce one evaluation point."""
+
+    technology_node: str = "45nm"
+    temperature_celsius: float = 110.0
+    corner: str = "TT"
+    clock_frequency: float = 3.0e9
+    static_probability: float = 0.5
+    toggle_activity: float = 0.5
+    crossbar: CrossbarConfig = field(default_factory=CrossbarConfig)
+
+    def __post_init__(self) -> None:
+        if self.clock_frequency <= 0:
+            raise ConfigurationError("clock frequency must be positive")
+        for name in ("static_probability", "toggle_activity"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ConfigurationError(f"{name} must be in [0, 1], got {value}")
+
+    def build_library(self) -> TechnologyLibrary:
+        """Instantiate the technology library for this experiment."""
+        return default_library_for_node(
+            self.technology_node,
+            temperature_celsius=self.temperature_celsius,
+            corner=self.corner,
+            clock_frequency=self.clock_frequency,
+        )
+
+    def with_overrides(self, **overrides) -> "ExperimentConfig":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **overrides)
+
+
+def paper_experiment() -> ExperimentConfig:
+    """The configuration of the paper's Table 1.
+
+    45 nm ITRS/BPTM technology, a 5-by-5 crossbar with 128-bit flits,
+    3 GHz operation, worst-case 50 % static probability and random data.
+    """
+    return ExperimentConfig()

@@ -1,0 +1,82 @@
+"""Design-space exploration helpers.
+
+The paper fixes one design point; a downstream user adopting these
+crossbars will immediately ask how the conclusions move with technology
+node, temperature, corner, flit width or crossbar radix.  The sweeps
+here answer that with the same evaluation machinery used for Table 1, so
+the answers are consistent with the headline reproduction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import ConfigurationError
+from .comparison import SchemeComparison, compare_schemes
+from .config import ExperimentConfig
+
+__all__ = ["SweepPoint", "DesignSpaceResult", "sweep_parameter"]
+
+#: Experiment fields a sweep may vary, with a note on what they exercise.
+_SWEEPABLE_FIELDS = {
+    "technology_node": "roadmap scaling of wires and devices",
+    "temperature_celsius": "leakage's exponential temperature dependence",
+    "corner": "process spread",
+    "clock_frequency": "how much slack the timing budget leaves for high Vt",
+    "static_probability": "data polarity (the pre-charged schemes' weak spot)",
+    "toggle_activity": "switching intensity",
+}
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One point of a parameter sweep."""
+
+    parameter: str
+    value: object
+    comparison: SchemeComparison
+
+
+@dataclass
+class DesignSpaceResult:
+    """All points of one sweep."""
+
+    parameter: str
+    points: list[SweepPoint] = field(default_factory=list)
+
+    def series(self, scheme: str, metric: str) -> list[tuple[object, float]]:
+        """Extract (parameter value, metric) pairs for one scheme.
+
+        ``metric`` is any key of the comparison records (e.g.
+        ``"total_power_mw"`` or ``"active_leakage_saving_percent"``).
+        """
+        result: list[tuple[object, float]] = []
+        for point in self.points:
+            records = {record["scheme"]: record for record in point.comparison.as_records()}
+            if scheme not in records:
+                raise ConfigurationError(f"scheme {scheme!r} missing from sweep point")
+            if metric not in records[scheme]:
+                raise ConfigurationError(f"unknown metric {metric!r}")
+            result.append((point.value, float(records[scheme][metric])))
+        return result
+
+
+def sweep_parameter(
+    parameter: str,
+    values: list[object],
+    base_config: ExperimentConfig | None = None,
+    scheme_names: list[str] | None = None,
+) -> DesignSpaceResult:
+    """Re-run the full scheme comparison for every value of ``parameter``."""
+    if parameter not in _SWEEPABLE_FIELDS:
+        known = ", ".join(sorted(_SWEEPABLE_FIELDS))
+        raise ConfigurationError(f"cannot sweep {parameter!r}; sweepable fields: {known}")
+    if not values:
+        raise ConfigurationError("a sweep needs at least one value")
+    config = base_config if base_config is not None else ExperimentConfig()
+    result = DesignSpaceResult(parameter=parameter)
+    for value in values:
+        point_config = config.with_overrides(**{parameter: value})
+        comparison = compare_schemes(point_config, scheme_names=scheme_names)
+        result.points.append(SweepPoint(parameter=parameter, value=value, comparison=comparison))
+    return result

@@ -1,0 +1,67 @@
+"""Single-scheme evaluation driver.
+
+Combines an :class:`~repro.core.config.ExperimentConfig` with a scheme
+name and produces the full :class:`~repro.power.savings.SchemeEvaluation`
+plus the structural inventory — everything the comparison engine,
+benchmarks and examples consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..circuit.netlist import NetlistStatistics
+from ..crossbar.base import CrossbarScheme
+from ..crossbar.factory import create_scheme
+from ..power.savings import SchemeEvaluation, evaluate_scheme
+from ..technology.library import TechnologyLibrary
+from .config import ExperimentConfig
+
+__all__ = ["SchemeResult", "SchemeEvaluator"]
+
+
+@dataclass(frozen=True)
+class SchemeResult:
+    """Evaluation plus structural inventory for one scheme."""
+
+    scheme_name: str
+    evaluation: SchemeEvaluation
+    single_bit_inventory: NetlistStatistics
+
+    @property
+    def high_vt_device_fraction(self) -> float:
+        """Fraction of devices in one output path that are high-Vt."""
+        return self.single_bit_inventory.high_vt_fraction
+
+
+class SchemeEvaluator:
+    """Evaluates schemes under one experiment configuration.
+
+    The evaluator caches the technology library (building it is cheap but
+    the object is shared by every scheme so identity matters for
+    comparisons) and instantiates schemes on demand.
+    """
+
+    def __init__(self, config: ExperimentConfig | None = None,
+                 library: TechnologyLibrary | None = None) -> None:
+        self.config = config if config is not None else ExperimentConfig()
+        self.library = library if library is not None else self.config.build_library()
+
+    def build_scheme(self, name: str) -> CrossbarScheme:
+        """Instantiate a crossbar scheme under this experiment's configuration."""
+        return create_scheme(name, self.library, self.config.crossbar)
+
+    def evaluate(self, name: str) -> SchemeResult:
+        """Fully evaluate one scheme."""
+        scheme = self.build_scheme(name)
+        evaluation = evaluate_scheme(
+            scheme,
+            static_probability=self.config.static_probability,
+            toggle_activity=self.config.toggle_activity,
+            frequency=self.config.clock_frequency,
+        )
+        return SchemeResult(
+            scheme_name=scheme.name,
+            evaluation=evaluation,
+            single_bit_inventory=scheme.single_bit_statistics,
+        )

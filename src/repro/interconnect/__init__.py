@@ -1,0 +1,34 @@
+"""Interconnect substrate: wires, pi models, buses, repeaters, crosstalk, segmentation.
+
+See ``DESIGN.md`` S3.
+"""
+
+from .bus import Bus, BusTransition
+from .crosstalk import (
+    NeighbourActivity,
+    average_miller_factor,
+    coupling_delay_factor,
+    miller_factor,
+    worst_case_miller_factor,
+)
+from .pi_model import PiModel
+from .repeater import RepeaterDesign, optimal_repeaters, repeated_wire_delay
+from .segmentation import SegmentationPlan, SegmentedWire
+from .wire import Wire
+
+__all__ = [
+    "Bus",
+    "BusTransition",
+    "NeighbourActivity",
+    "PiModel",
+    "RepeaterDesign",
+    "SegmentationPlan",
+    "SegmentedWire",
+    "Wire",
+    "average_miller_factor",
+    "coupling_delay_factor",
+    "miller_factor",
+    "optimal_repeaters",
+    "repeated_wire_delay",
+    "worst_case_miller_factor",
+]

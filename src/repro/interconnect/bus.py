@@ -1,0 +1,127 @@
+"""Multi-bit bus model.
+
+A crossbar input or output is a 128-bit bus.  The bus model aggregates
+per-wire R/C, accounts for coupling between adjacent bits via Miller
+factors, and computes switching energy for a given pair of consecutive
+data words — which is what the dynamic-power analysis and the NoC-level
+power roll-up integrate over traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import TechnologyError
+from ..technology.bptm import WireElectricalModel
+from .crosstalk import NeighbourActivity, miller_factor
+from .wire import Wire
+
+__all__ = ["Bus", "BusTransition"]
+
+
+@dataclass(frozen=True)
+class BusTransition:
+    """Energy-relevant summary of one bus word transition."""
+
+    switched_bits: int
+    coupling_events: int
+    energy: float
+
+
+class Bus:
+    """``width`` parallel wires of identical geometry.
+
+    The bus assumes the standard on-chip layout: bit *i* couples to bits
+    *i-1* and *i+1*; the outermost bits see one neighbour plus a quiet
+    shield/track.
+    """
+
+    def __init__(self, width: int, length: float, model: WireElectricalModel) -> None:
+        if width < 1:
+            raise TechnologyError(f"bus width must be at least 1, got {width}")
+        if length < 0:
+            raise TechnologyError("bus length cannot be negative")
+        self.width = width
+        self.length = length
+        self.model = model
+
+    @property
+    def wire(self) -> Wire:
+        """A representative single wire of the bus."""
+        return Wire(length=self.length, model=self.model, neighbours=2)
+
+    def total_ground_capacitance(self) -> float:
+        """Sum of all ground capacitance (farads)."""
+        return self.width * self.model.ground_capacitance_per_meter * self.length
+
+    def total_coupling_capacitance(self) -> float:
+        """Sum of all internal coupling capacitance (farads)."""
+        internal_gaps = max(self.width - 1, 0)
+        return internal_gaps * self.model.coupling_capacitance_per_meter * self.length
+
+    def per_bit_switching_capacitance(self, miller: float = 1.0) -> float:
+        """Average capacitance one switching bit must charge."""
+        ground = self.model.ground_capacitance_per_meter * self.length
+        coupling = 2.0 * self.model.coupling_capacitance_per_meter * self.length
+        return ground + miller * coupling
+
+    def transition_energy(self, previous_word: int, next_word: int, supply_voltage: float) -> BusTransition:
+        """Energy to move the bus from ``previous_word`` to ``next_word``.
+
+        Bits are numbered LSB-first.  A bit that rises charges its ground
+        capacitance; each adjacent pair that toggles in opposite
+        directions charges its coupling capacitance twice (Miller 2),
+        pairs toggling together charge it zero times, and a toggling bit
+        next to a quiet bit charges it once.
+        """
+        if supply_voltage <= 0:
+            raise TechnologyError("supply voltage must be positive")
+        if previous_word < 0 or next_word < 0:
+            raise TechnologyError("bus words are unsigned integers")
+        mask = (1 << self.width) - 1
+        previous_word &= mask
+        next_word &= mask
+        ground_per_bit = self.model.ground_capacitance_per_meter * self.length
+        coupling_per_gap = self.model.coupling_capacitance_per_meter * self.length
+        energy = 0.0
+        switched = 0
+        coupling_events = 0
+        deltas = []
+        for bit in range(self.width):
+            was = (previous_word >> bit) & 1
+            now = (next_word >> bit) & 1
+            delta = now - was
+            deltas.append(delta)
+            if delta != 0:
+                switched += 1
+            if delta > 0:
+                energy += ground_per_bit * supply_voltage**2
+        for gap in range(self.width - 1):
+            left, right = deltas[gap], deltas[gap + 1]
+            if left == 0 and right == 0:
+                continue
+            if left * right < 0:
+                activity = NeighbourActivity.OPPOSITE_DIRECTION
+            elif left * right > 0:
+                activity = NeighbourActivity.SAME_DIRECTION
+            else:
+                activity = NeighbourActivity.QUIET
+            factor = miller_factor(activity)
+            if factor > 0:
+                coupling_events += 1
+                energy += factor * coupling_per_gap * supply_voltage**2
+        return BusTransition(switched_bits=switched, coupling_events=coupling_events, energy=energy)
+
+    def random_data_energy_per_cycle(self, supply_voltage: float, activity_factor: float = 0.5) -> float:
+        """Expected switching energy per cycle under random data.
+
+        Under random data each bit rises with probability ``activity/2``
+        per cycle... more precisely, the expected energy is
+        ``width * activity * (Cg + Cc_avg) * Vdd^2 / 2`` with the average
+        Miller factor of 1 (random neighbours).  The factor 1/2 reflects
+        that only rising transitions draw ground-capacitance energy.
+        """
+        if not 0.0 <= activity_factor <= 1.0:
+            raise TechnologyError("activity factor must be in [0, 1]")
+        per_bit = self.per_bit_switching_capacitance(miller=1.0)
+        return 0.5 * self.width * activity_factor * per_bit * supply_voltage**2

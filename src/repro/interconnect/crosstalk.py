@@ -1,0 +1,78 @@
+"""Coupling (crosstalk) effects on delay and energy.
+
+The crossbar datapath is a dense bus: each wire has two same-layer
+neighbours, and the effective capacitance it must charge depends on what
+those neighbours are doing (the Miller effect).  The reference [2] the
+paper builds on (Deogun et al., DAC 2004) is a bus-encoding scheme that
+trades exactly this coupling energy against leakage; reproducing the
+Miller bookkeeping lets the bus model report the same quantities.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from ..errors import TechnologyError
+
+__all__ = ["NeighbourActivity", "miller_factor", "worst_case_miller_factor", "coupling_delay_factor"]
+
+
+class NeighbourActivity(enum.Enum):
+    """What a neighbouring wire does during the victim's transition."""
+
+    QUIET = "quiet"
+    SAME_DIRECTION = "same_direction"
+    OPPOSITE_DIRECTION = "opposite_direction"
+
+
+#: Effective multiplier on the coupling capacitance for each activity.
+_MILLER_FACTORS = {
+    NeighbourActivity.QUIET: 1.0,
+    NeighbourActivity.SAME_DIRECTION: 0.0,
+    NeighbourActivity.OPPOSITE_DIRECTION: 2.0,
+}
+
+
+def miller_factor(activity: NeighbourActivity) -> float:
+    """Miller multiplier for a single neighbour's activity."""
+    try:
+        return _MILLER_FACTORS[activity]
+    except KeyError as exc:  # pragma: no cover - enum exhausts the domain
+        raise TechnologyError(f"unknown neighbour activity {activity!r}") from exc
+
+
+def worst_case_miller_factor() -> float:
+    """The factor used for worst-case (both neighbours opposing) timing."""
+    return _MILLER_FACTORS[NeighbourActivity.OPPOSITE_DIRECTION]
+
+
+def average_miller_factor(probability_quiet: float = 0.5, probability_same: float = 0.25,
+                          probability_opposite: float = 0.25) -> float:
+    """Activity-weighted average Miller factor for energy estimation."""
+    total = probability_quiet + probability_same + probability_opposite
+    if abs(total - 1.0) > 1e-9:
+        raise TechnologyError("neighbour activity probabilities must sum to 1")
+    if min(probability_quiet, probability_same, probability_opposite) < 0:
+        raise TechnologyError("probabilities cannot be negative")
+    return (
+        probability_quiet * _MILLER_FACTORS[NeighbourActivity.QUIET]
+        + probability_same * _MILLER_FACTORS[NeighbourActivity.SAME_DIRECTION]
+        + probability_opposite * _MILLER_FACTORS[NeighbourActivity.OPPOSITE_DIRECTION]
+    )
+
+
+def coupling_delay_factor(ground_capacitance: float, coupling_capacitance: float,
+                          miller: float) -> float:
+    """Delay multiplier relative to the quiet-neighbour case.
+
+    The victim's delay scales with its total switched capacitance; with
+    a coupling fraction ``x = Cc / (Cg + Cc)`` and a Miller factor ``m``,
+    the multiplier is ``(Cg + m*Cc) / (Cg + Cc)``.
+    """
+    if ground_capacitance <= 0 or coupling_capacitance < 0:
+        raise TechnologyError("capacitances must be positive (ground) / non-negative (coupling)")
+    if miller < 0:
+        raise TechnologyError("Miller factor cannot be negative")
+    quiet = ground_capacitance + coupling_capacitance
+    actual = ground_capacitance + miller * coupling_capacitance
+    return actual / quiet

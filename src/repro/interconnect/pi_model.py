@@ -1,0 +1,63 @@
+"""Lumped pi reduction of a distributed wire.
+
+A pi model places half of the wire capacitance at each end of the total
+series resistance.  It matches the first two moments of the distributed
+line, which is all the Elmore-based delay analysis consumes; the delay
+layer uses it when it wants a closed-form expression rather than a
+ladder in an RC tree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import TechnologyError
+
+__all__ = ["PiModel"]
+
+
+@dataclass(frozen=True)
+class PiModel:
+    """The C/2 - R - C/2 lumped equivalent of a wire."""
+
+    near_capacitance: float
+    resistance: float
+    far_capacitance: float
+
+    def __post_init__(self) -> None:
+        if self.near_capacitance < 0 or self.far_capacitance < 0:
+            raise TechnologyError("pi-model capacitances cannot be negative")
+        if self.resistance < 0:
+            raise TechnologyError("pi-model resistance cannot be negative")
+
+    @property
+    def total_capacitance(self) -> float:
+        """Total wire capacitance (farads)."""
+        return self.near_capacitance + self.far_capacitance
+
+    def driver_stage_delay(self, driver_resistance: float, load_capacitance: float) -> float:
+        """50 % delay of a driver pushing through this pi into a load.
+
+        Closed form: ``0.69 Rd (Cn + Cf + CL) + 0.69 R (Cf + CL)``; the
+        near capacitance never sees the wire resistance.
+        """
+        if driver_resistance < 0 or load_capacitance < 0:
+            raise TechnologyError("driver resistance and load capacitance cannot be negative")
+        ln2 = 0.6931471805599453
+        return ln2 * (
+            driver_resistance * (self.total_capacitance + load_capacitance)
+            + self.resistance * (self.far_capacitance + load_capacitance)
+        )
+
+    def cascaded_with(self, other: "PiModel") -> "PiModel":
+        """Pi model of this wire followed immediately by ``other``.
+
+        The merge keeps total R and C exact and the boundary capacitance
+        split between the two sides, which preserves the Elmore delay of
+        the cascade.
+        """
+        return PiModel(
+            near_capacitance=self.near_capacitance,
+            resistance=self.resistance + other.resistance,
+            far_capacitance=self.far_capacitance + other.total_capacitance,
+        )

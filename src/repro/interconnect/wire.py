@@ -1,0 +1,98 @@
+"""Physical wires: geometry-bound RC segments.
+
+A :class:`Wire` binds a length and a layer's per-unit-length electrical
+model into the quantities the delay and power analyses need: total R and
+C, lumped pi models, and ladder insertion into an
+:class:`~repro.circuit.rc_network.RCTree`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import TechnologyError
+from ..technology.bptm import WireElectricalModel
+from ..technology.library import TechnologyLibrary
+from .pi_model import PiModel
+
+__all__ = ["Wire"]
+
+
+@dataclass(frozen=True)
+class Wire:
+    """A single wire of a given length on a given layer.
+
+    Attributes
+    ----------
+    length:
+        Routed length in metres.
+    model:
+        Per-unit-length electrical model of the layer the wire runs on.
+    neighbours:
+        Number of same-layer aggressors (0-2) used for the capacitance
+        roll-up; crossbar datapath wires run in a dense bus so the
+        default is 2.
+    """
+
+    length: float
+    model: WireElectricalModel
+    neighbours: int = 2
+
+    def __post_init__(self) -> None:
+        if self.length < 0:
+            raise TechnologyError(f"wire length cannot be negative, got {self.length}")
+        if self.neighbours not in (0, 1, 2):
+            raise TechnologyError("neighbours must be 0, 1 or 2")
+
+    @classmethod
+    def on_layer(cls, library: TechnologyLibrary, length: float, layer: str = "intermediate",
+                 neighbours: int = 2) -> "Wire":
+        """Build a wire from a technology library and layer name."""
+        return cls(length=length, model=library.wire_model(layer), neighbours=neighbours)
+
+    # -- electrical totals -------------------------------------------------------
+    @property
+    def resistance(self) -> float:
+        """Total series resistance (ohms)."""
+        return self.model.resistance(self.length)
+
+    @property
+    def capacitance(self) -> float:
+        """Total capacitance with quiet neighbours (farads)."""
+        return self.model.capacitance(self.length, self.neighbours)
+
+    def switching_capacitance(self, miller_factor: float = 1.0) -> float:
+        """Capacitance seen by a switching event with the given Miller factor."""
+        return self.model.capacitance(self.length, self.neighbours, miller_factor)
+
+    # -- reduced-order views --------------------------------------------------------
+    def pi_model(self) -> PiModel:
+        """Symmetric pi reduction (C/2 - R - C/2)."""
+        return PiModel(
+            near_capacitance=self.capacitance / 2.0,
+            resistance=self.resistance,
+            far_capacitance=self.capacitance / 2.0,
+        )
+
+    def split(self, fractions: list[float]) -> list["Wire"]:
+        """Split this wire into consecutive pieces of the given length fractions.
+
+        Used by the segmented schemes: a crossbar output wire becomes a
+        near segment and a far segment.  Fractions must be positive and
+        sum to 1 (within rounding).
+        """
+        if not fractions:
+            raise TechnologyError("at least one fraction is required")
+        if any(fraction <= 0 for fraction in fractions):
+            raise TechnologyError("all split fractions must be positive")
+        total = sum(fractions)
+        if abs(total - 1.0) > 1e-9:
+            raise TechnologyError(f"split fractions must sum to 1, got {total}")
+        return [
+            Wire(length=self.length * fraction, model=self.model, neighbours=self.neighbours)
+            for fraction in fractions
+        ]
+
+    def add_to_tree(self, tree, from_node: str, to_node: str, segments: int = 5) -> None:
+        """Insert this wire into an RC tree as a distributed ladder."""
+        tree.add_wire(from_node, to_node, self.resistance, self.capacitance, segments)

@@ -1,0 +1,48 @@
+"""Round-robin arbitration.
+
+Each crossbar output port has an arbiter choosing among the input ports
+requesting it.  Round-robin is the standard fair policy; the grant it
+produces is exactly the ``grant_N/S/W/E`` signal that drives the pass
+transistors in the paper's Figure 1.
+"""
+
+from __future__ import annotations
+
+from ..errors import NocError
+
+__all__ = ["RoundRobinArbiter"]
+
+
+class RoundRobinArbiter:
+    """Fair single-winner arbiter over ``size`` requesters."""
+
+    def __init__(self, size: int) -> None:
+        if size < 1:
+            raise NocError(f"arbiter needs at least one requester, got {size}")
+        self.size = size
+        self._priority = 0
+        self.grant_count = 0
+
+    def grant(self, requests: list[bool]) -> int | None:
+        """Return the index of the granted requester, or ``None`` if no requests.
+
+        The search starts at the rotating priority pointer, which is
+        advanced past the winner so that a persistent requester cannot
+        starve the others.
+        """
+        if len(requests) != self.size:
+            raise NocError(
+                f"expected {self.size} request lines, got {len(requests)}"
+            )
+        for offset in range(self.size):
+            index = (self._priority + offset) % self.size
+            if requests[index]:
+                self._priority = (index + 1) % self.size
+                self.grant_count += 1
+                return index
+        return None
+
+    def reset(self) -> None:
+        """Reset the rotating priority and statistics."""
+        self._priority = 0
+        self.grant_count = 0

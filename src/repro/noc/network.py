@@ -1,0 +1,184 @@
+"""Cycle-based mesh network simulator.
+
+Two-phase update per cycle:
+
+1. every router routes its head-of-line flits and arbitrates its output
+   ports (:meth:`~repro.noc.router.Router.decide_moves`);
+2. moves whose destination buffer has space are committed: ejections are
+   recorded, forwarded flits are deposited into the neighbouring
+   router's facing input buffer;
+3. new packets from the traffic generator are injected into the local
+   (PE) input buffers;
+4. per-port busy/idle and buffer occupancy statistics are recorded.
+
+The outputs the paper's evaluation needs are the per-port idle-interval
+distributions (consumed by :mod:`repro.noc.power_gating`) and the
+aggregate utilisation figures (consumed by :mod:`repro.noc.noc_power`).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from ..crossbar.ports import PortDirection
+from ..errors import NocError
+from .flit import Flit
+from .stats import IdleIntervalTracker, LatencyStatistics
+from .topology import Mesh, opposite_port
+from .traffic import TrafficConfig, TrafficGenerator
+
+__all__ = ["SimulationResult", "NetworkSimulator"]
+
+
+@dataclass
+class SimulationResult:
+    """Aggregate outcome of one simulation run."""
+
+    cycles: int
+    node_count: int
+    latency: LatencyStatistics
+    crossbar_traversals: int
+    output_trackers: dict[tuple[tuple[int, int], PortDirection], IdleIntervalTracker]
+    injected_flits: int
+    dropped_injections: int
+    average_buffer_utilisation: float
+    per_port_utilisation: dict[tuple[tuple[int, int], PortDirection], float] = field(
+        default_factory=dict
+    )
+
+    @property
+    def accepted_throughput(self) -> float:
+        """Ejected flits per node per cycle."""
+        return self.latency.throughput(self.cycles, self.node_count)
+
+    @property
+    def average_latency(self) -> float:
+        """Mean flit latency in cycles."""
+        return self.latency.average_latency
+
+    @property
+    def average_crossbar_utilisation(self) -> float:
+        """Mean fraction of output ports busy per cycle across the network."""
+        if not self.output_trackers:
+            return 0.0
+        fractions = [1.0 - tracker.idle_fraction for tracker in self.output_trackers.values()]
+        return sum(fractions) / len(fractions)
+
+    def idle_intervals(self) -> list[int]:
+        """All idle intervals of all crossbar output ports, pooled."""
+        intervals: list[int] = []
+        for tracker in self.output_trackers.values():
+            intervals.extend(tracker.idle_intervals())
+        return intervals
+
+
+class NetworkSimulator:
+    """Drives a mesh with synthetic traffic for a fixed number of cycles."""
+
+    def __init__(self, mesh: Mesh, traffic: TrafficConfig) -> None:
+        self.mesh = mesh
+        self.traffic_config = traffic
+        self.generator = TrafficGenerator(traffic, mesh.columns, mesh.rows)
+        self.latency = LatencyStatistics()
+        self._pending_injections: dict[tuple[int, int], deque[Flit]] = {
+            position: deque() for position in mesh.positions()
+        }
+        self.dropped_injections = 0
+        self.cycle = 0
+
+    # -- simulation loop ------------------------------------------------------------
+    def run(self, cycles: int, warmup_cycles: int = 0) -> SimulationResult:
+        """Simulate ``cycles`` cycles (after ``warmup_cycles`` untracked ones)."""
+        if cycles < 1:
+            raise NocError("simulate at least one cycle")
+        if warmup_cycles < 0:
+            raise NocError("warm-up cannot be negative")
+        for _ in range(warmup_cycles):
+            self._step(record=False)
+        for _ in range(cycles):
+            self._step(record=True)
+        for router in self.mesh.routers.values():
+            router.finalise()
+        return self._collect(cycles)
+
+    def _step(self, record: bool) -> None:
+        self._inject_traffic()
+        moves_by_router = {
+            position: router.decide_moves() for position, router in self.mesh.routers.items()
+        }
+        busy_by_router: dict[tuple[int, int], set[PortDirection]] = {
+            position: set() for position in self.mesh.positions()
+        }
+        for position, moves in moves_by_router.items():
+            router = self.mesh.router(position)
+            for move in moves:
+                if move.output_port is PortDirection.PE:
+                    flit = router.commit_move(move)
+                    flit.ejection_cycle = self.cycle
+                    if record:
+                        self.latency.record_ejection(flit.latency)
+                    busy_by_router[position].add(move.output_port)
+                    continue
+                neighbour = self.mesh.neighbour(position, move.output_port)
+                if neighbour is None:
+                    # XY routing never points off the mesh edge; reaching this
+                    # indicates a corrupted destination.
+                    raise NocError(
+                        f"flit at {position} routed off the mesh via {move.output_port}"
+                    )
+                entry_port = opposite_port(move.output_port)
+                if not self.mesh.router(neighbour).can_accept(entry_port):
+                    continue
+                flit = router.commit_move(move)
+                self.mesh.router(neighbour).accept(entry_port, flit)
+                busy_by_router[position].add(move.output_port)
+        if record:
+            for position, router in self.mesh.routers.items():
+                router.record_cycle(busy_by_router[position])
+        self.cycle += 1
+
+    def _inject_traffic(self) -> None:
+        for position in self.mesh.positions():
+            pending = self._pending_injections[position]
+            for packet in self.generator.generate(self.cycle, position):
+                for flit in packet.flits():
+                    flit.injection_cycle = self.cycle
+                    pending.append(flit)
+            router = self.mesh.router(position)
+            while pending and router.can_accept(PortDirection.PE):
+                router.accept(PortDirection.PE, pending.popleft())
+                self.latency.record_injection()
+            # Bound the source queue so saturated runs do not grow unboundedly.
+            while len(pending) > 64:
+                pending.popleft()
+                self.dropped_injections += 1
+
+    # -- collection --------------------------------------------------------------------
+    def _collect(self, cycles: int) -> SimulationResult:
+        trackers: dict[tuple[tuple[int, int], PortDirection], IdleIntervalTracker] = {}
+        utilisation: dict[tuple[tuple[int, int], PortDirection], float] = {}
+        buffer_utilisations: list[float] = []
+        traversals = 0
+        for position, router in self.mesh.routers.items():
+            traversals += router.crossbar_traversals
+            for port, tracker in router.output_trackers.items():
+                trackers[(position, port)] = tracker
+                utilisation[(position, port)] = (
+                    1.0 - tracker.idle_fraction if tracker.total_cycles else 0.0
+                )
+            for buffer in router.input_buffers.values():
+                buffer_utilisations.append(buffer.utilisation)
+        return SimulationResult(
+            cycles=cycles,
+            node_count=self.mesh.node_count,
+            latency=self.latency,
+            crossbar_traversals=traversals,
+            output_trackers=trackers,
+            injected_flits=self.latency.injected_flits,
+            dropped_injections=self.dropped_injections,
+            average_buffer_utilisation=(
+                sum(buffer_utilisations) / len(buffer_utilisations) if buffer_utilisations else 0.0
+            ),
+            per_port_utilisation=utilisation,
+        )

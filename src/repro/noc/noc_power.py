@@ -1,0 +1,202 @@
+"""Network-level power roll-up.
+
+Combines one crossbar scheme's circuit-level figures with the activity a
+simulation measured to estimate router and network power:
+
+* **crossbar switching** — energy per traversal times measured traversals;
+* **crossbar leakage** — busy ports leak at the active rate, idle ports
+  at the idle rate, and (optionally) gated idle cycles at the standby
+  rate, using the same gating evaluation as :mod:`repro.noc.power_gating`;
+* **buffer leakage** — a Chen-&-Peh-style per-cell figure built from the
+  technology library (reference [1] of the paper is the prior work that
+  optimises this component; including it keeps the crossbar's share in
+  honest proportion);
+* **link switching** — per-flit energy of the inter-router wires with
+  optimally repeated drivers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..circuit.dynamic import switching_energy
+from ..crossbar.base import CrossbarScheme
+from ..errors import NocError
+from ..interconnect.repeater import optimal_repeaters
+from ..interconnect.wire import Wire
+from ..power.idle_time import analyse_minimum_idle_time
+from ..technology.transistor import Polarity, VtFlavor
+from .network import SimulationResult
+from .power_gating import GatingPolicy, evaluate_gating
+
+__all__ = ["NocPowerConfig", "NetworkPowerReport", "NocPowerModel"]
+
+
+@dataclass(frozen=True)
+class NocPowerConfig:
+    """Architecture parameters of the power roll-up."""
+
+    buffer_depth: int = 4
+    link_length: float = 1.0e-3
+    bit_cell_width: float = 0.3e-6
+    static_probability: float = 0.5
+    toggle_activity: float = 0.5
+    gating_enabled: bool = True
+    gating_policy: GatingPolicy = GatingPolicy()
+
+    def __post_init__(self) -> None:
+        if self.buffer_depth < 1:
+            raise NocError("buffer depth must be at least 1")
+        if self.link_length <= 0:
+            raise NocError("link length must be positive")
+        if self.bit_cell_width <= 0:
+            raise NocError("bit cell width must be positive")
+
+
+@dataclass(frozen=True)
+class NetworkPowerReport:
+    """Per-component network power (watts) for one simulated workload."""
+
+    scheme: str
+    crossbar_dynamic: float
+    crossbar_leakage: float
+    buffer_leakage: float
+    link_dynamic: float
+    gating_net_saving: float
+
+    @property
+    def total(self) -> float:
+        """Total network power (watts)."""
+        return self.crossbar_dynamic + self.crossbar_leakage + self.buffer_leakage + self.link_dynamic
+
+    @property
+    def crossbar_leakage_fraction(self) -> float:
+        """Crossbar leakage as a fraction of the total."""
+        if self.total == 0:
+            return 0.0
+        return self.crossbar_leakage / self.total
+
+
+class NocPowerModel:
+    """Estimates network power for one crossbar scheme and one simulation."""
+
+    def __init__(self, scheme: CrossbarScheme, config: NocPowerConfig | None = None) -> None:
+        self.scheme = scheme
+        self.config = config if config is not None else NocPowerConfig()
+        self.library = scheme.library
+
+    # -- per-component building blocks ------------------------------------------------
+    def crossbar_energy_per_traversal(self) -> float:
+        """Switching energy of one flit crossing the crossbar (joules)."""
+        per_cycle = self.scheme.dynamic_energy_per_cycle(
+            self.config.toggle_activity, self.config.static_probability
+        )
+        return per_cycle / self.scheme.config.output_count
+
+    def buffer_leakage_per_router(self) -> float:
+        """Leakage power of one router's input buffers (watts).
+
+        Each stored bit is modelled as a cell with one off NMOS and one
+        off PMOS of ``bit_cell_width`` (the dominant leakage paths of an
+        SRAM/latch cell), all nominal Vt — reference [1]'s techniques for
+        reducing this component are outside this reproduction's scope.
+        """
+        nmos = self.library.make_transistor(
+            Polarity.NMOS, VtFlavor.NOMINAL, self.config.bit_cell_width
+        )
+        pmos = self.library.make_transistor(
+            Polarity.PMOS, VtFlavor.NOMINAL, self.config.bit_cell_width
+        )
+        per_cell = (nmos.off_current() + pmos.off_current()) * self.library.supply_voltage
+        cells = (
+            self.scheme.config.port_count
+            * self.config.buffer_depth
+            * self.scheme.config.flit_width
+        )
+        return per_cell * cells
+
+    def link_energy_per_flit(self) -> float:
+        """Switching energy of one flit traversing one inter-router link (joules)."""
+        wire = Wire.on_layer(self.library, self.config.link_length, "global")
+        design = optimal_repeaters(self.library, wire)
+        capacitance = wire.capacitance + design.total_repeater_capacitance
+        per_bit = switching_energy(capacitance, self.library.supply_voltage)
+        return 0.5 * self.config.toggle_activity * self.scheme.config.flit_width * per_bit
+
+    # -- roll-up -----------------------------------------------------------------------
+    def evaluate(self, result: SimulationResult) -> NetworkPowerReport:
+        """Estimate network power for the workload captured in ``result``."""
+        if result.cycles < 1:
+            raise NocError("simulation result covers no cycles")
+        frequency = self.library.clock_frequency
+        period = self.library.clock_period
+        simulated_time = result.cycles * period
+        node_count = result.node_count
+
+        crossbar_dynamic_energy = result.crossbar_traversals * self.crossbar_energy_per_traversal()
+        crossbar_dynamic = crossbar_dynamic_energy / simulated_time
+
+        # Leakage: apportion each router's crossbar between busy and idle time
+        # using the measured per-port utilisation.
+        active_power = self.scheme.active_leakage_power(self.config.static_probability)
+        idle_power = self.scheme.idle_leakage(self.config.static_probability).power(
+            self.scheme.supply_voltage
+        )
+        standby_power = self.scheme.standby_leakage_power()
+        per_port_active = active_power / self.scheme.config.output_count
+        per_port_idle = idle_power / self.scheme.config.output_count
+        per_port_standby = standby_power / self.scheme.config.output_count
+
+        leakage_energy = 0.0
+        gating_saving_energy = 0.0
+        idle_analysis = analyse_minimum_idle_time(
+            self.scheme, self.config.static_probability, frequency
+        ) if self.scheme.has_sleep_mode else None
+        per_port_transition = (
+            idle_analysis.transition_energy / self.scheme.config.output_count
+            if idle_analysis is not None
+            else 0.0
+        )
+        for tracker in result.output_trackers.values():
+            busy = tracker.busy_cycles
+            idle = tracker.idle_cycles
+            leakage_energy += busy * period * per_port_active
+            if not (self.config.gating_enabled and self.scheme.has_sleep_mode):
+                leakage_energy += idle * period * per_port_idle
+                continue
+            intervals = tracker.idle_intervals()
+            gated = 0
+            transitions = 0
+            for interval in intervals:
+                sleepable = interval - self.config.gating_policy.idle_detect_cycles \
+                    - self.config.gating_policy.wakeup_cycles
+                if sleepable > 0:
+                    gated += sleepable
+                    transitions += 1
+            ungated_energy = idle * period * per_port_idle
+            gated_energy = (
+                (idle - gated) * period * per_port_idle
+                + gated * period * per_port_standby
+                + transitions * per_port_transition
+            )
+            leakage_energy += min(gated_energy, ungated_energy)
+            gating_saving_energy += max(ungated_energy - gated_energy, 0.0)
+        crossbar_leakage = leakage_energy / simulated_time
+
+        buffer_leakage = self.buffer_leakage_per_router() * node_count
+
+        # Every crossbar traversal towards a non-local port is followed by a
+        # link traversal; approximate the link count by the non-PE share of
+        # traversals.
+        non_local_fraction = 0.8
+        link_energy = result.crossbar_traversals * non_local_fraction * self.link_energy_per_flit()
+        link_dynamic = link_energy / simulated_time
+
+        return NetworkPowerReport(
+            scheme=self.scheme.name,
+            crossbar_dynamic=crossbar_dynamic,
+            crossbar_leakage=crossbar_leakage,
+            buffer_leakage=buffer_leakage,
+            link_dynamic=link_dynamic,
+            gating_net_saving=gating_saving_energy / simulated_time,
+        )

@@ -1,0 +1,147 @@
+"""Power-gating (standby) controller evaluation.
+
+Connects the circuit-level break-even numbers (Table 1's minimum idle
+time) to the architecture-level idle intervals the network simulator
+measures: given a gating policy and the idle-interval distribution of a
+crossbar output port, how much leakage energy does the standby mode
+actually recover, net of transition costs and detection latency?
+
+Two policies are provided:
+
+* :func:`evaluate_gating` — a realistic *timeout* controller: the port
+  must be observed idle for ``idle_detect_cycles`` before sleep is
+  asserted, so short intervals are never gated and every gated interval
+  loses the detection window;
+* :func:`evaluate_oracle_gating` — an oracle that knows each interval's
+  length in advance and gates exactly those longer than the break-even
+  point; the gap between the two is the price of prediction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import NocError
+from ..power.idle_time import IdleTimeAnalysis
+
+__all__ = ["GatingPolicy", "GatingReport", "evaluate_gating", "evaluate_oracle_gating"]
+
+
+@dataclass(frozen=True)
+class GatingPolicy:
+    """Timeout-based sleep policy."""
+
+    idle_detect_cycles: int = 4
+    wakeup_cycles: int = 1
+
+    def __post_init__(self) -> None:
+        if self.idle_detect_cycles < 1:
+            raise NocError("idle detection needs at least one cycle")
+        if self.wakeup_cycles < 0:
+            raise NocError("wake-up latency cannot be negative")
+
+
+@dataclass(frozen=True)
+class GatingReport:
+    """Outcome of applying a gating policy to an idle-interval population."""
+
+    total_cycles: int
+    idle_cycles: int
+    gated_cycles: int
+    sleep_transitions: int
+    leakage_energy_without_gating: float
+    leakage_energy_with_gating: float
+    transition_energy_spent: float
+
+    @property
+    def net_energy_saved(self) -> float:
+        """Leakage energy saved minus the transition energy spent (joules)."""
+        return (
+            self.leakage_energy_without_gating
+            - self.leakage_energy_with_gating
+            - self.transition_energy_spent
+        )
+
+    @property
+    def saving_fraction(self) -> float:
+        """Net saving as a fraction of the ungated idle leakage energy."""
+        if self.leakage_energy_without_gating <= 0:
+            return 0.0
+        return self.net_energy_saved / self.leakage_energy_without_gating
+
+    @property
+    def gated_fraction_of_idle(self) -> float:
+        """Fraction of idle cycles actually spent in standby."""
+        if self.idle_cycles == 0:
+            return 0.0
+        return self.gated_cycles / self.idle_cycles
+
+
+def _report_from_gated(
+    idle_intervals: list[int],
+    gated_cycles_per_interval: list[int],
+    total_cycles: int,
+    idle_analysis: IdleTimeAnalysis,
+    idle_power: float,
+    standby_power: float,
+) -> GatingReport:
+    if idle_power < standby_power:
+        raise NocError("idle power below standby power; gating would never help")
+    period = idle_analysis.clock_period
+    idle_cycles = sum(idle_intervals)
+    gated_cycles = sum(gated_cycles_per_interval)
+    transitions = sum(1 for cycles in gated_cycles_per_interval if cycles > 0)
+    energy_without = idle_cycles * period * idle_power
+    energy_with = (
+        (idle_cycles - gated_cycles) * period * idle_power
+        + gated_cycles * period * standby_power
+    )
+    return GatingReport(
+        total_cycles=total_cycles,
+        idle_cycles=idle_cycles,
+        gated_cycles=gated_cycles,
+        sleep_transitions=transitions,
+        leakage_energy_without_gating=energy_without,
+        leakage_energy_with_gating=energy_with,
+        transition_energy_spent=transitions * idle_analysis.transition_energy,
+    )
+
+
+def evaluate_gating(
+    idle_intervals: list[int],
+    total_cycles: int,
+    idle_analysis: IdleTimeAnalysis,
+    idle_power: float,
+    standby_power: float,
+    policy: GatingPolicy | None = None,
+) -> GatingReport:
+    """Apply a timeout gating policy to measured idle intervals."""
+    if total_cycles < 1:
+        raise NocError("total cycles must be positive")
+    chosen = policy if policy is not None else GatingPolicy()
+    gated: list[int] = []
+    for interval in idle_intervals:
+        if interval < 0:
+            raise NocError("idle intervals cannot be negative")
+        sleepable = interval - chosen.idle_detect_cycles - chosen.wakeup_cycles
+        gated.append(max(sleepable, 0))
+    return _report_from_gated(
+        idle_intervals, gated, total_cycles, idle_analysis, idle_power, standby_power
+    )
+
+
+def evaluate_oracle_gating(
+    idle_intervals: list[int],
+    total_cycles: int,
+    idle_analysis: IdleTimeAnalysis,
+    idle_power: float,
+    standby_power: float,
+) -> GatingReport:
+    """Gate exactly the intervals longer than the break-even point."""
+    if total_cycles < 1:
+        raise NocError("total cycles must be positive")
+    threshold = idle_analysis.minimum_idle_cycles
+    gated = [interval if interval >= threshold else 0 for interval in idle_intervals]
+    return _report_from_gated(
+        idle_intervals, gated, total_cycles, idle_analysis, idle_power, standby_power
+    )

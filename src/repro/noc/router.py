@@ -1,0 +1,116 @@
+"""The five-port mesh router.
+
+Input-buffered router with XY routing and per-output round-robin
+arbitration — the standard microarchitecture the paper's crossbar sits
+inside.  The router does not move flits by itself; the network simulator
+asks it for its routing/arbitration decisions each cycle and applies the
+winning moves, which keeps the simulator's two-phase (decide, then
+commit) update free of ordering artefacts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..crossbar.ports import PortDirection
+from ..errors import NocError
+from .arbiter import RoundRobinArbiter
+from .buffer import FlitBuffer
+from .flit import Flit
+from .routing import xy_route
+from .stats import IdleIntervalTracker
+
+__all__ = ["Router", "CrossbarMove"]
+
+
+@dataclass(frozen=True)
+class CrossbarMove:
+    """One granted crossbar traversal: input port -> output port."""
+
+    input_port: PortDirection
+    output_port: PortDirection
+    flit: Flit
+
+
+class Router:
+    """One router of the 2-D mesh."""
+
+    def __init__(self, position: tuple[int, int], buffer_depth: int = 4) -> None:
+        if buffer_depth < 1:
+            raise NocError("buffer depth must be at least 1")
+        self.position = position
+        self.buffer_depth = buffer_depth
+        self.input_buffers: dict[PortDirection, FlitBuffer] = {
+            port: FlitBuffer(buffer_depth, name=f"{position}:{port.value}")
+            for port in PortDirection.ordered()
+        }
+        self.output_arbiters: dict[PortDirection, RoundRobinArbiter] = {
+            port: RoundRobinArbiter(len(PortDirection.ordered()))
+            for port in PortDirection.ordered()
+        }
+        self.output_trackers: dict[PortDirection, IdleIntervalTracker] = {
+            port: IdleIntervalTracker(name=f"{position}:{port.value}")
+            for port in PortDirection.ordered()
+        }
+        self.crossbar_traversals = 0
+
+    # -- flit admission --------------------------------------------------------------
+    def can_accept(self, port: PortDirection) -> bool:
+        """True if the input buffer of ``port`` has space for one flit."""
+        return not self.input_buffers[port].is_full
+
+    def accept(self, port: PortDirection, flit: Flit) -> None:
+        """Deposit a flit into the input buffer of ``port``."""
+        self.input_buffers[port].push(flit)
+
+    # -- per-cycle decision ------------------------------------------------------------
+    def decide_moves(self) -> list[CrossbarMove]:
+        """Route head-of-line flits and arbitrate each output port.
+
+        Returns at most one move per output port.  The simulator is
+        responsible for checking downstream space and for actually
+        popping the flits of the moves it commits.
+        """
+        ports = PortDirection.ordered()
+        desired: dict[PortDirection, PortDirection] = {}
+        for port in ports:
+            buffer = self.input_buffers[port]
+            if buffer.is_empty:
+                continue
+            desired[port] = xy_route(self.position, buffer.peek().destination)
+        moves: list[CrossbarMove] = []
+        for output in ports:
+            requests = [desired.get(input_port) is output for input_port in ports]
+            if not any(requests):
+                continue
+            winner_index = self.output_arbiters[output].grant(requests)
+            if winner_index is None:
+                continue
+            input_port = ports[winner_index]
+            moves.append(
+                CrossbarMove(
+                    input_port=input_port,
+                    output_port=output,
+                    flit=self.input_buffers[input_port].peek(),
+                )
+            )
+        return moves
+
+    def commit_move(self, move: CrossbarMove) -> Flit:
+        """Pop the flit of a committed move and count the traversal."""
+        flit = self.input_buffers[move.input_port].pop()
+        flit.hops += 1
+        self.crossbar_traversals += 1
+        return flit
+
+    # -- statistics -----------------------------------------------------------------------
+    def record_cycle(self, busy_outputs: set[PortDirection]) -> None:
+        """Record per-output activity and buffer occupancy for this cycle."""
+        for port in PortDirection.ordered():
+            self.output_trackers[port].record(port in busy_outputs)
+            self.input_buffers[port].record_cycle()
+
+    def finalise(self) -> None:
+        """Close all idle-interval trackers at the end of a simulation."""
+        for tracker in self.output_trackers.values():
+            tracker.finalise()

@@ -1,0 +1,36 @@
+"""Routing: dimension-ordered (XY) routing on a 2-D mesh.
+
+XY routing is deadlock-free on a mesh and is the conventional choice for
+the class of routers the paper targets.  The router asks the routing
+function for an output port given its own coordinates and the flit's
+destination.
+"""
+
+from __future__ import annotations
+
+from ..crossbar.ports import PortDirection
+from ..errors import NocError
+
+__all__ = ["xy_route"]
+
+
+def xy_route(current: tuple[int, int], destination: tuple[int, int]) -> PortDirection:
+    """Output port for a flit at ``current`` heading to ``destination``.
+
+    Coordinates are (x, y) with x growing eastwards and y growing
+    northwards.  X is corrected first, then Y; a flit already at its
+    destination is ejected to the PE port.
+    """
+    cx, cy = current
+    dx, dy = destination
+    if (cx, cy) == (dx, dy):
+        return PortDirection.PE
+    if dx > cx:
+        return PortDirection.EAST
+    if dx < cx:
+        return PortDirection.WEST
+    if dy > cy:
+        return PortDirection.NORTH
+    if dy < cy:
+        return PortDirection.SOUTH
+    raise NocError("unreachable routing state")  # pragma: no cover

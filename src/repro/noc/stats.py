@@ -1,0 +1,116 @@
+"""Simulation statistics: latency, throughput and idle-interval tracking.
+
+The quantity the paper's standby mode lives or dies by is the
+distribution of *idle intervals* on each crossbar output port: only
+intervals longer than the minimum idle time (Table 1) are worth a sleep
+transition.  :class:`IdleIntervalTracker` collects exactly that, per
+port, during simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import NocError
+
+__all__ = ["IdleIntervalTracker", "LatencyStatistics"]
+
+
+class IdleIntervalTracker:
+    """Tracks busy/idle cycles of one resource and its idle-interval lengths."""
+
+    def __init__(self, name: str = "port") -> None:
+        self.name = name
+        self.busy_cycles = 0
+        self.idle_cycles = 0
+        self._current_idle_run = 0
+        self._intervals: list[int] = []
+        self._closed = False
+
+    def record(self, busy: bool) -> None:
+        """Record one cycle of activity."""
+        if self._closed:
+            raise NocError(f"tracker {self.name!r} already finalised")
+        if busy:
+            self.busy_cycles += 1
+            if self._current_idle_run > 0:
+                self._intervals.append(self._current_idle_run)
+                self._current_idle_run = 0
+        else:
+            self.idle_cycles += 1
+            self._current_idle_run += 1
+
+    def finalise(self) -> None:
+        """Close the trailing idle interval; call once when simulation ends."""
+        if self._closed:
+            return
+        if self._current_idle_run > 0:
+            self._intervals.append(self._current_idle_run)
+            self._current_idle_run = 0
+        self._closed = True
+
+    @property
+    def total_cycles(self) -> int:
+        """Total recorded cycles."""
+        return self.busy_cycles + self.idle_cycles
+
+    @property
+    def idle_fraction(self) -> float:
+        """Fraction of cycles the resource was idle."""
+        if self.total_cycles == 0:
+            return 0.0
+        return self.idle_cycles / self.total_cycles
+
+    def idle_intervals(self) -> list[int]:
+        """All completed idle intervals (call :meth:`finalise` first)."""
+        if not self._closed:
+            raise NocError(f"tracker {self.name!r} must be finalised before reading intervals")
+        return list(self._intervals)
+
+    def intervals_of_at_least(self, threshold: int) -> list[int]:
+        """Idle intervals no shorter than ``threshold`` cycles."""
+        if threshold < 1:
+            raise NocError("threshold must be at least one cycle")
+        return [interval for interval in self.idle_intervals() if interval >= threshold]
+
+    def gateable_idle_fraction(self, threshold: int) -> float:
+        """Fraction of all cycles spent in idle intervals >= ``threshold``."""
+        if self.total_cycles == 0:
+            return 0.0
+        gateable = sum(self.intervals_of_at_least(threshold))
+        return gateable / self.total_cycles
+
+
+@dataclass
+class LatencyStatistics:
+    """Injection / ejection counters and latency accumulation."""
+
+    injected_flits: int = 0
+    ejected_flits: int = 0
+    total_latency_cycles: int = 0
+    latencies: list[int] = field(default_factory=list)
+
+    def record_injection(self, count: int = 1) -> None:
+        """Count injected flits."""
+        self.injected_flits += count
+
+    def record_ejection(self, latency: int) -> None:
+        """Count one ejected flit and its latency."""
+        if latency < 0:
+            raise NocError("latency cannot be negative")
+        self.ejected_flits += 1
+        self.total_latency_cycles += latency
+        self.latencies.append(latency)
+
+    @property
+    def average_latency(self) -> float:
+        """Mean flit latency in cycles."""
+        if self.ejected_flits == 0:
+            return 0.0
+        return self.total_latency_cycles / self.ejected_flits
+
+    def throughput(self, cycles: int, node_count: int) -> float:
+        """Accepted traffic in flits per node per cycle."""
+        if cycles <= 0 or node_count <= 0:
+            raise NocError("cycles and node count must be positive")
+        return self.ejected_flits / (cycles * node_count)

@@ -1,0 +1,92 @@
+"""2-D mesh topology.
+
+Builds the router grid and answers connectivity questions: which router
+and input port a flit leaving a given router/output port arrives at.
+"""
+
+from __future__ import annotations
+
+from ..crossbar.ports import PortDirection
+from ..errors import NocError
+from .router import Router
+
+__all__ = ["Mesh", "opposite_port"]
+
+_OFFSETS: dict[PortDirection, tuple[int, int]] = {
+    PortDirection.EAST: (1, 0),
+    PortDirection.WEST: (-1, 0),
+    PortDirection.NORTH: (0, 1),
+    PortDirection.SOUTH: (0, -1),
+}
+
+_OPPOSITES: dict[PortDirection, PortDirection] = {
+    PortDirection.EAST: PortDirection.WEST,
+    PortDirection.WEST: PortDirection.EAST,
+    PortDirection.NORTH: PortDirection.SOUTH,
+    PortDirection.SOUTH: PortDirection.NORTH,
+}
+
+
+def opposite_port(port: PortDirection) -> PortDirection:
+    """The input port on the neighbouring router facing ``port``."""
+    try:
+        return _OPPOSITES[port]
+    except KeyError as exc:
+        raise NocError(f"port {port} has no opposite (PE is local)") from exc
+
+
+class Mesh:
+    """A ``columns x rows`` mesh of routers."""
+
+    def __init__(self, columns: int, rows: int, buffer_depth: int = 4) -> None:
+        if columns < 1 or rows < 1:
+            raise NocError("mesh dimensions must be positive")
+        if columns * rows < 2:
+            raise NocError("a mesh needs at least two nodes to route traffic")
+        self.columns = columns
+        self.rows = rows
+        self.routers: dict[tuple[int, int], Router] = {
+            (x, y): Router((x, y), buffer_depth)
+            for x in range(columns)
+            for y in range(rows)
+        }
+
+    @property
+    def node_count(self) -> int:
+        """Number of routers in the mesh."""
+        return self.columns * self.rows
+
+    def positions(self) -> list[tuple[int, int]]:
+        """All router coordinates, column-major order."""
+        return list(self.routers)
+
+    def router(self, position: tuple[int, int]) -> Router:
+        """The router at ``position``."""
+        try:
+            return self.routers[position]
+        except KeyError as exc:
+            raise NocError(f"no router at {position} in a {self.columns}x{self.rows} mesh") from exc
+
+    def neighbour(self, position: tuple[int, int], port: PortDirection) -> tuple[int, int] | None:
+        """Coordinates of the router reached through ``port``, or ``None`` at an edge."""
+        if port is PortDirection.PE:
+            return None
+        if position not in self.routers:
+            raise NocError(f"no router at {position}")
+        dx, dy = _OFFSETS[port]
+        candidate = (position[0] + dx, position[1] + dy)
+        return candidate if candidate in self.routers else None
+
+    def average_hop_count(self) -> float:
+        """Mean XY hop count over all source/destination pairs (analytic)."""
+        total = 0
+        pairs = 0
+        for sx in range(self.columns):
+            for sy in range(self.rows):
+                for dx in range(self.columns):
+                    for dy in range(self.rows):
+                        if (sx, sy) == (dx, dy):
+                            continue
+                        total += abs(sx - dx) + abs(sy - dy)
+                        pairs += 1
+        return total / pairs if pairs else 0.0

@@ -1,0 +1,72 @@
+"""Scheme-level leakage analysis.
+
+Thin, well-named wrappers around the crossbar scheme methods that
+produce the quantities Table 1 reports: active leakage, standby leakage,
+their mechanism breakdowns, and the savings of each scheme relative to
+the SC baseline.  Keeping this in its own module (rather than calling
+scheme methods directly from the benchmarks) gives the power analyses a
+stable, documented interface that the NoC layer reuses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..circuit.leakage import LeakageBreakdown
+from ..crossbar.base import CrossbarScheme
+from ..errors import PowerError
+
+__all__ = ["LeakageAnalysis", "analyse_leakage"]
+
+
+@dataclass(frozen=True)
+class LeakageAnalysis:
+    """Leakage figures of one scheme at one operating point."""
+
+    scheme: str
+    static_probability: float
+    active: LeakageBreakdown
+    idle: LeakageBreakdown
+    standby: LeakageBreakdown
+    supply_voltage: float
+
+    @property
+    def active_power(self) -> float:
+        """Active leakage power (watts)."""
+        return self.active.power(self.supply_voltage)
+
+    @property
+    def idle_power(self) -> float:
+        """Idle-but-awake leakage power (watts)."""
+        return self.idle.power(self.supply_voltage)
+
+    @property
+    def standby_power(self) -> float:
+        """Standby (sleep-mode) leakage power (watts)."""
+        return self.standby.power(self.supply_voltage)
+
+    def active_saving_versus(self, baseline: "LeakageAnalysis") -> float:
+        """Fractional active-leakage saving relative to ``baseline`` (0..1)."""
+        if baseline.active_power <= 0:
+            raise PowerError("baseline active leakage must be positive")
+        return 1.0 - self.active_power / baseline.active_power
+
+    def standby_saving_versus(self, baseline: "LeakageAnalysis") -> float:
+        """Fractional standby-leakage saving relative to ``baseline`` (0..1)."""
+        if baseline.standby_power <= 0:
+            raise PowerError("baseline standby leakage must be positive")
+        return 1.0 - self.standby_power / baseline.standby_power
+
+
+def analyse_leakage(scheme: CrossbarScheme, static_probability: float = 0.5) -> LeakageAnalysis:
+    """Run the three leakage evaluations the paper reports for ``scheme``."""
+    if not 0.0 <= static_probability <= 1.0:
+        raise PowerError(f"static probability must be in [0, 1], got {static_probability}")
+    return LeakageAnalysis(
+        scheme=scheme.name,
+        static_probability=static_probability,
+        active=scheme.active_leakage(static_probability),
+        idle=scheme.idle_leakage(static_probability),
+        standby=scheme.standby_leakage(),
+        supply_voltage=scheme.supply_voltage,
+    )

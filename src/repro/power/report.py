@@ -1,0 +1,68 @@
+"""Human-readable power/delay reports (the Table 1 text rendering)."""
+
+from __future__ import annotations
+
+from ..units import seconds_to_picoseconds, watts_to_milliwatts
+from .savings import SchemeEvaluation, SchemeSavings
+
+__all__ = ["format_table1", "format_evaluation"]
+
+_ROW_LABELS = [
+    "High to low delay time (ps)",
+    "Low to High / Precharge delay time (ps)",
+    "Active Leakage Savings (%)",
+    "Standby Leakage Savings (%)",
+    "Minimum Idle Time (cycles)",
+    "Total Power (mW)",
+    "Delay Penalty (%)",
+]
+
+
+def format_evaluation(evaluation: SchemeEvaluation) -> str:
+    """One scheme's raw figures as a small text block."""
+    lines = [
+        f"scheme: {evaluation.scheme}",
+        f"  high-to-low delay: {seconds_to_picoseconds(evaluation.delay.high_to_low):.2f} ps",
+        f"  low-to-high delay: {seconds_to_picoseconds(evaluation.delay.low_to_high):.2f} ps",
+        f"  active leakage:    {watts_to_milliwatts(evaluation.leakage.active_power):.2f} mW",
+        f"  standby leakage:   {watts_to_milliwatts(evaluation.leakage.standby_power):.2f} mW",
+        f"  dynamic power:     {watts_to_milliwatts(evaluation.total_power.dynamic_power):.2f} mW",
+        f"  total power:       {watts_to_milliwatts(evaluation.total_power.total):.2f} mW",
+        f"  min idle time:     {evaluation.idle_time.minimum_idle_cycles} cycles",
+    ]
+    return "\n".join(lines)
+
+
+def format_table1(evaluations: dict[str, SchemeEvaluation],
+                  savings: dict[str, SchemeSavings],
+                  baseline_name: str = "SC") -> str:
+    """Render the reproduction of the paper's Table 1 as aligned text.
+
+    ``evaluations`` maps scheme name to its raw evaluation; ``savings``
+    maps the non-baseline scheme names to their savings relative to the
+    baseline.
+    """
+    names = list(evaluations)
+    width = 10
+    header = f"{'':44s}" + "".join(f"{name:>{width}s}" for name in names)
+    rows: list[list[str]] = [[] for _ in _ROW_LABELS]
+    for name in names:
+        evaluation = evaluations[name]
+        saving = savings.get(name)
+        rows[0].append(f"{seconds_to_picoseconds(evaluation.delay.high_to_low):.2f}")
+        rows[1].append(f"{seconds_to_picoseconds(evaluation.delay.low_to_high):.2f}")
+        if name == baseline_name or saving is None:
+            rows[2].append("-")
+            rows[3].append("-")
+            rows[6].append("-")
+        else:
+            rows[2].append(f"{saving.active_leakage_saving * 100:.2f}")
+            rows[3].append(f"{saving.standby_leakage_saving * 100:.2f}")
+            penalty = saving.delay_penalty * 100
+            rows[6].append("No" if penalty == 0 else f"{penalty:.2f}")
+        rows[4].append(str(evaluation.idle_time.minimum_idle_cycles))
+        rows[5].append(f"{watts_to_milliwatts(evaluation.total_power.total):.2f}")
+    lines = [header, "-" * len(header)]
+    for label, row in zip(_ROW_LABELS, rows):
+        lines.append(f"{label:44s}" + "".join(f"{value:>{width}s}" for value in row))
+    return "\n".join(lines)

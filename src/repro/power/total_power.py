@@ -1,0 +1,90 @@
+"""Total crossbar power (Table 1 "Total Power - 3 GHz" row).
+
+Total power is switching power plus active leakage power at the chosen
+operating point.  The paper flags the pre-charged schemes' figures as
+"worst case" because their switching power is maximised at 50 % static
+probability; :func:`power_versus_static_probability` exposes that
+dependence, which the ablation benchmark sweeps to reproduce the paper's
+closing remark that DPC/SDPC "target systems which have major data
+transfers within the same polarity".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..crossbar.base import CrossbarScheme
+from ..errors import PowerError
+from .dynamic_analysis import analyse_dynamic
+from .leakage_analysis import analyse_leakage
+
+__all__ = ["TotalPowerAnalysis", "analyse_total_power", "power_versus_static_probability"]
+
+
+@dataclass(frozen=True)
+class TotalPowerAnalysis:
+    """Total-power figures of one scheme at one operating point."""
+
+    scheme: str
+    frequency: float
+    toggle_activity: float
+    static_probability: float
+    dynamic_power: float
+    leakage_power: float
+
+    @property
+    def total(self) -> float:
+        """Total power in watts."""
+        return self.dynamic_power + self.leakage_power
+
+    @property
+    def leakage_fraction(self) -> float:
+        """Fraction of the total power that is leakage."""
+        if self.total == 0:
+            return 0.0
+        return self.leakage_power / self.total
+
+    def saving_versus(self, baseline: "TotalPowerAnalysis") -> float:
+        """Fractional total-power saving relative to ``baseline``."""
+        if baseline.total <= 0:
+            raise PowerError("baseline total power must be positive")
+        return 1.0 - self.total / baseline.total
+
+
+def analyse_total_power(
+    scheme: CrossbarScheme,
+    toggle_activity: float = 0.5,
+    static_probability: float = 0.5,
+    frequency: float | None = None,
+) -> TotalPowerAnalysis:
+    """Evaluate switching + active leakage power for ``scheme``."""
+    dynamic = analyse_dynamic(scheme, toggle_activity, static_probability, frequency)
+    leakage = analyse_leakage(scheme, static_probability)
+    return TotalPowerAnalysis(
+        scheme=scheme.name,
+        frequency=dynamic.frequency,
+        toggle_activity=toggle_activity,
+        static_probability=static_probability,
+        dynamic_power=dynamic.power,
+        leakage_power=leakage.active_power,
+    )
+
+
+def power_versus_static_probability(
+    scheme: CrossbarScheme,
+    probabilities: list[float],
+    toggle_activity: float = 0.5,
+    frequency: float | None = None,
+) -> list[TotalPowerAnalysis]:
+    """Total power across a sweep of static probabilities.
+
+    Reproduces the polarity-sensitivity claim: pre-charged schemes get
+    cheaper as the data skews towards the pre-charged value while
+    feedback schemes are insensitive to polarity (only to toggling).
+    """
+    if not probabilities:
+        raise PowerError("the sweep needs at least one static probability")
+    return [
+        analyse_total_power(scheme, toggle_activity, probability, frequency)
+        for probability in probabilities
+    ]

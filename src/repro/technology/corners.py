@@ -1,0 +1,110 @@
+"""Process corners and operating conditions.
+
+Leakage is extremely sensitive to process and temperature: the fast
+corner of a 45 nm process can leak an order of magnitude more than the
+slow corner, and a 125 C junction temperature multiplies sub-threshold
+leakage several-fold relative to 25 C.  The paper reports typical-corner
+numbers; the corner machinery here exists so the design-space exploration
+example (and downstream users) can ask "does the scheme ordering survive
+at the fast/hot corner?", which is the question a signoff flow would ask.
+
+A corner is expressed as multiplicative adjustments applied to a
+:class:`~repro.technology.transistor.MosfetParameters` instance plus an
+operating condition (supply voltage, temperature).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..errors import TechnologyError
+from ..units import celsius_to_kelvin
+from .transistor import MosfetParameters
+
+__all__ = ["ProcessCorner", "OperatingCondition", "STANDARD_CORNERS", "get_corner"]
+
+
+@dataclass(frozen=True)
+class ProcessCorner:
+    """Multiplicative process adjustments relative to the typical corner.
+
+    Attributes
+    ----------
+    name:
+        Conventional corner name (``TT``, ``FF``, ``SS``, ``FS``, ``SF``).
+    vt_shift:
+        Additive threshold-voltage shift in volts (negative = faster and
+        leakier).
+    drive_scale:
+        Multiplier on the drive-current coefficient.
+    leakage_scale:
+        Extra multiplier on the characteristic sub-threshold current,
+        capturing channel-length and oxide-thickness variation beyond
+        the Vt shift.
+    """
+
+    name: str
+    vt_shift: float = 0.0
+    drive_scale: float = 1.0
+    leakage_scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.drive_scale <= 0:
+            raise TechnologyError("drive scale must be positive")
+        if self.leakage_scale <= 0:
+            raise TechnologyError("leakage scale must be positive")
+
+    def apply(self, parameters: MosfetParameters) -> MosfetParameters:
+        """Return corner-adjusted device parameters."""
+        new_vt = parameters.threshold_voltage + self.vt_shift
+        if new_vt <= 0:
+            raise TechnologyError(
+                f"corner {self.name} drives threshold voltage non-positive ({new_vt:.3f} V)"
+            )
+        return replace(
+            parameters,
+            threshold_voltage=new_vt,
+            drive_k_per_meter=parameters.drive_k_per_meter * self.drive_scale,
+            i0_per_meter=parameters.i0_per_meter * self.leakage_scale,
+        )
+
+
+@dataclass(frozen=True)
+class OperatingCondition:
+    """Supply voltage and junction temperature for an analysis.
+
+    ``temperature_celsius`` is stored as given; :attr:`temperature_kelvin`
+    is what the device models consume.
+    """
+
+    supply_voltage: float
+    temperature_celsius: float
+
+    def __post_init__(self) -> None:
+        if self.supply_voltage <= 0:
+            raise TechnologyError("supply voltage must be positive")
+        celsius_to_kelvin(self.temperature_celsius)  # validates range
+
+    @property
+    def temperature_kelvin(self) -> float:
+        """Junction temperature in kelvin."""
+        return celsius_to_kelvin(self.temperature_celsius)
+
+
+#: The standard five corners with representative 45 nm-class shifts.
+STANDARD_CORNERS: dict[str, ProcessCorner] = {
+    "TT": ProcessCorner("TT"),
+    "FF": ProcessCorner("FF", vt_shift=-0.04, drive_scale=1.12, leakage_scale=2.0),
+    "SS": ProcessCorner("SS", vt_shift=+0.04, drive_scale=0.88, leakage_scale=0.5),
+    "FS": ProcessCorner("FS", vt_shift=-0.02, drive_scale=1.05, leakage_scale=1.4),
+    "SF": ProcessCorner("SF", vt_shift=+0.02, drive_scale=0.95, leakage_scale=0.7),
+}
+
+
+def get_corner(name: str) -> ProcessCorner:
+    """Look up a standard corner by name, raising for unknown names."""
+    try:
+        return STANDARD_CORNERS[name.upper()]
+    except KeyError as exc:
+        known = ", ".join(sorted(STANDARD_CORNERS))
+        raise TechnologyError(f"unknown process corner {name!r}; known corners: {known}") from exc

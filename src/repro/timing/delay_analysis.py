@@ -1,0 +1,98 @@
+"""Delay-analysis helpers shared by the crossbar schemes.
+
+Two quantities recur throughout the schemes' timing models:
+
+* **Contention inflation** — when a transition must overpower a keeper,
+  the net current available to move the node is the driver current minus
+  the keeper current, so the delay inflates by
+  ``I_drive / (I_drive - I_keeper)``.  The dual-Vt schemes weaken the
+  keeper, shrinking this factor, which is why the DFC's high-to-low
+  delay is *faster* than the single-Vt baseline in Table 1.
+* **Pass-transistor rise degradation** — an NMOS pass device pulls a
+  node up only to ``Vdd - Vt`` and does so with a degraded overdrive, so
+  the low-to-high transition through the crossbar is slower than the
+  high-to-low one unless a keeper or pre-charge device completes the
+  swing.
+
+The :class:`DelayReport` groups the per-scheme results that feed the
+Table 1 delay rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import TimingError
+
+__all__ = ["contention_factor", "pass_rise_penalty", "DelayReport"]
+
+
+def contention_factor(drive_current: float, opposing_current: float) -> float:
+    """Delay inflation from fighting an opposing (keeper) current.
+
+    Raises if the opposing current is not comfortably smaller than the
+    drive current (a keeper that can defeat the driver means the circuit
+    does not function, which should fail loudly, not return a huge
+    number).
+    """
+    if drive_current <= 0:
+        raise TimingError("drive current must be positive")
+    if opposing_current < 0:
+        raise TimingError("opposing current cannot be negative")
+    if opposing_current >= 0.8 * drive_current:
+        raise TimingError(
+            "keeper current is within 80% of the drive current; the transition is not robust "
+            f"(drive {drive_current:.3e} A vs keeper {opposing_current:.3e} A)"
+        )
+    return drive_current / (drive_current - opposing_current)
+
+
+def pass_rise_penalty(supply_voltage: float, pass_threshold_voltage: float) -> float:
+    """Delay multiplier for pulling a node high through an NMOS pass device.
+
+    The device saturates as the output approaches ``Vdd - Vt``: the last
+    part of the swing is completed by the keeper (feedback schemes) or is
+    unnecessary (pre-charged schemes).  The penalty is modelled as the
+    ratio of the full swing to the swing the pass device can deliver
+    briskly, ``Vdd / (Vdd - Vt)``, which is the standard first-order
+    estimate.
+    """
+    if supply_voltage <= 0:
+        raise TimingError("supply voltage must be positive")
+    if not 0 < pass_threshold_voltage < supply_voltage:
+        raise TimingError("pass-device threshold must lie strictly between 0 and Vdd")
+    return supply_voltage / (supply_voltage - pass_threshold_voltage)
+
+
+@dataclass(frozen=True)
+class DelayReport:
+    """Worst-case delays of one crossbar scheme (seconds).
+
+    ``high_to_low`` is the output falling transition; ``low_to_high`` is
+    the output rising transition for the feedback schemes or the
+    pre-charge completion time for the pre-charged schemes (matching how
+    Table 1 labels the row).
+    """
+
+    scheme: str
+    high_to_low: float
+    low_to_high: float
+
+    def __post_init__(self) -> None:
+        if self.high_to_low <= 0 or self.low_to_high <= 0:
+            raise TimingError("delays must be positive")
+
+    @property
+    def worst_case(self) -> float:
+        """The delay that constrains the crossbar clock period."""
+        return max(self.high_to_low, self.low_to_high)
+
+    def penalty_versus(self, baseline: "DelayReport") -> float:
+        """Fractional worst-case delay penalty relative to ``baseline``.
+
+        Negative values (the scheme is faster than the baseline) are
+        clamped to zero because Table 1 reports "No" penalty in that
+        case.
+        """
+        penalty = self.worst_case / baseline.worst_case - 1.0
+        return max(penalty, 0.0)

@@ -1,0 +1,95 @@
+"""Timing paths: ordered driver stages with wires, loads and contention.
+
+A crossbar delay path (Figures 1-3) is a chain of stages:
+
+1. the input-port driver pushing the input wire and the pass transistor
+   onto the merge node (node A), possibly fighting a keeper;
+2. the first driver inverter (I1) switching the internal node;
+3. the output inverter (I2) pushing the output wire into the next
+   router's input capacitance;
+4. for segmented schemes, an extra stage through the segment switch.
+
+Each stage is characterised by an effective driver resistance, an
+optional wire (as a pi model), a lumped load capacitance and a
+contention factor that inflates the delay when the stage must overpower
+a keeper.  The path delay is the sum of the stage delays — standard
+stage-based static timing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import TimingError
+from ..interconnect.pi_model import PiModel
+from ..circuit.rc_network import LN2
+
+__all__ = ["TimingStage", "TimingPath"]
+
+
+@dataclass(frozen=True)
+class TimingStage:
+    """One driver stage of a timing path."""
+
+    name: str
+    driver_resistance: float
+    load_capacitance: float
+    wire: PiModel | None = None
+    series_resistance: float = 0.0
+    contention_factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.driver_resistance < 0:
+            raise TimingError(f"stage {self.name!r}: driver resistance cannot be negative")
+        if self.load_capacitance < 0:
+            raise TimingError(f"stage {self.name!r}: load capacitance cannot be negative")
+        if self.series_resistance < 0:
+            raise TimingError(f"stage {self.name!r}: series resistance cannot be negative")
+        if self.contention_factor < 1.0:
+            raise TimingError(
+                f"stage {self.name!r}: contention factor is a delay inflation and must be >= 1"
+            )
+
+    def delay(self) -> float:
+        """50 % delay of this stage in seconds.
+
+        The driver resistance and any series (pass-transistor) resistance
+        push through the optional wire into the lumped load; contention
+        multiplies the result.
+        """
+        total_driver = self.driver_resistance + self.series_resistance
+        if self.wire is None:
+            base = LN2 * total_driver * self.load_capacitance
+        else:
+            base = self.wire.driver_stage_delay(total_driver, self.load_capacitance)
+        return base * self.contention_factor
+
+
+@dataclass
+class TimingPath:
+    """An ordered list of stages from a launch point to a capture point."""
+
+    name: str
+    stages: list[TimingStage] = field(default_factory=list)
+
+    def add_stage(self, stage: TimingStage) -> None:
+        """Append a stage to the path."""
+        self.stages.append(stage)
+
+    def delay(self) -> float:
+        """Total path delay in seconds."""
+        if not self.stages:
+            raise TimingError(f"path {self.name!r} has no stages")
+        return sum(stage.delay() for stage in self.stages)
+
+    def stage_delays(self) -> dict[str, float]:
+        """Per-stage delay breakdown (seconds), keyed by stage name."""
+        if not self.stages:
+            raise TimingError(f"path {self.name!r} has no stages")
+        return {stage.name: stage.delay() for stage in self.stages}
+
+    def critical_stage(self) -> TimingStage:
+        """The stage contributing the largest share of the path delay."""
+        if not self.stages:
+            raise TimingError(f"path {self.name!r} has no stages")
+        return max(self.stages, key=lambda stage: stage.delay())

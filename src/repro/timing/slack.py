@@ -1,0 +1,62 @@
+"""Slack bookkeeping.
+
+The paper's argument for the segmented schemes is a slack argument: the
+near-segment path (path 1 in Fig. 3a) is faster than the far-segment
+path (path 2), so with the clock period set by path 2 the near path has
+positive slack, and that slack can be spent on high-Vt devices.  This
+module provides the small amount of machinery that argument needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import TimingError
+
+__all__ = ["SlackReport", "required_time_from_clock"]
+
+
+def required_time_from_clock(clock_period: float, utilisation: float = 1.0) -> float:
+    """Required arrival time given a clock period and a utilisation budget.
+
+    ``utilisation`` is the fraction of the cycle the crossbar traversal
+    is allowed to use (the rest goes to arbitration, buffer read, link
+    traversal).  The paper's delays (~60 ps at a 333 ps cycle) imply a
+    crossbar budget of roughly 20 % of the cycle, which is the default
+    used by the experiment configuration.
+    """
+    if clock_period <= 0:
+        raise TimingError("clock period must be positive")
+    if not 0.0 < utilisation <= 1.0:
+        raise TimingError("utilisation must be in (0, 1]")
+    return clock_period * utilisation
+
+
+@dataclass(frozen=True)
+class SlackReport:
+    """Arrival vs. required time for one path."""
+
+    path_name: str
+    arrival_time: float
+    required_time: float
+
+    def __post_init__(self) -> None:
+        if self.arrival_time <= 0:
+            raise TimingError("arrival time must be positive")
+        if self.required_time <= 0:
+            raise TimingError("required time must be positive")
+
+    @property
+    def slack(self) -> float:
+        """Positive slack means the path is faster than required (seconds)."""
+        return self.required_time - self.arrival_time
+
+    @property
+    def is_met(self) -> bool:
+        """True if the path meets its required time."""
+        return self.slack >= 0.0
+
+    @property
+    def slack_fraction(self) -> float:
+        """Slack as a fraction of the required time."""
+        return self.slack / self.required_time

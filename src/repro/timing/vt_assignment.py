@@ -1,0 +1,92 @@
+"""Slack-driven dual-Vt assignment.
+
+The paper assigns high-Vt devices by hand, guided by which transistors
+sit on the critical path and how much slack the non-critical paths have.
+This module reproduces that reasoning as an algorithm so the library can
+answer "which devices *should* be high-Vt for a given slack budget?",
+both to justify the per-scheme assignments the crossbar generators bake
+in and to support the design-space exploration example.
+
+The algorithm is a greedy knapsack: every candidate device contributes a
+leakage saving if swapped to high-Vt and costs some path delay; sort by
+saving per unit delay cost and take candidates while the accumulated
+delay fits in the available slack.  Devices off the critical path have
+zero delay cost and are always taken — exactly the paper's observation
+that the longer slack of path 1 "removes more transistors from the
+critical path, allowing designers to use high Vt transistors".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import TimingError
+
+__all__ = ["VtCandidate", "VtAssignmentResult", "assign_high_vt"]
+
+
+@dataclass(frozen=True)
+class VtCandidate:
+    """One device (or group of identical devices) considered for high-Vt."""
+
+    name: str
+    leakage_saving: float
+    delay_cost: float
+    on_critical_path: bool = True
+
+    def __post_init__(self) -> None:
+        if self.leakage_saving < 0:
+            raise TimingError(f"candidate {self.name!r}: leakage saving cannot be negative")
+        if self.delay_cost < 0:
+            raise TimingError(f"candidate {self.name!r}: delay cost cannot be negative")
+
+
+@dataclass
+class VtAssignmentResult:
+    """Outcome of a greedy high-Vt assignment."""
+
+    selected: list[VtCandidate] = field(default_factory=list)
+    rejected: list[VtCandidate] = field(default_factory=list)
+    slack_budget: float = 0.0
+    slack_used: float = 0.0
+
+    @property
+    def total_leakage_saving(self) -> float:
+        """Sum of leakage savings of the selected candidates."""
+        return sum(candidate.leakage_saving for candidate in self.selected)
+
+    @property
+    def selected_names(self) -> list[str]:
+        """Names of selected candidates (stable order)."""
+        return [candidate.name for candidate in self.selected]
+
+
+def assign_high_vt(candidates: list[VtCandidate], slack_budget: float) -> VtAssignmentResult:
+    """Greedy slack-constrained high-Vt assignment.
+
+    Off-critical-path candidates are always selected (their delay cost is
+    not charged against the slack budget — they are limited by their own
+    path's slack, which the caller has already established is ample).
+    Critical-path candidates are charged against ``slack_budget``.
+    """
+    if slack_budget < 0:
+        raise TimingError("slack budget cannot be negative")
+    result = VtAssignmentResult(slack_budget=slack_budget)
+    off_critical = [candidate for candidate in candidates if not candidate.on_critical_path]
+    on_critical = [candidate for candidate in candidates if candidate.on_critical_path]
+    result.selected.extend(off_critical)
+
+    def efficiency(candidate: VtCandidate) -> float:
+        if candidate.delay_cost == 0:
+            return float("inf")
+        return candidate.leakage_saving / candidate.delay_cost
+
+    remaining = slack_budget
+    for candidate in sorted(on_critical, key=efficiency, reverse=True):
+        if candidate.delay_cost <= remaining:
+            result.selected.append(candidate)
+            remaining -= candidate.delay_cost
+        else:
+            result.rejected.append(candidate)
+    result.slack_used = slack_budget - remaining
+    return result

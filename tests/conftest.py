@@ -1,0 +1,45 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import ExperimentConfig
+from repro.crossbar import CrossbarConfig, create_all_schemes
+from repro.technology import default_45nm
+
+
+@pytest.fixture(scope="session")
+def library():
+    """The paper's technology point (45 nm, 1.0 V, 3 GHz, 110 C, TT)."""
+    return default_45nm()
+
+
+@pytest.fixture(scope="session")
+def cold_library():
+    """Same technology at 25 C, for temperature-sensitivity tests."""
+    return default_45nm(temperature_celsius=25.0)
+
+
+@pytest.fixture(scope="session")
+def crossbar_config():
+    """The paper's crossbar configuration (5x5, 128-bit flits)."""
+    return CrossbarConfig()
+
+
+@pytest.fixture(scope="session")
+def small_crossbar_config():
+    """A reduced crossbar (5x5, 8-bit flits) for structure-heavy tests."""
+    return CrossbarConfig(flit_width=8)
+
+
+@pytest.fixture(scope="session")
+def schemes(library, crossbar_config):
+    """All five schemes instantiated at the paper's configuration."""
+    return create_all_schemes(library, crossbar_config)
+
+
+@pytest.fixture(scope="session")
+def experiment_config():
+    """The paper's experiment configuration."""
+    return ExperimentConfig()

@@ -1,0 +1,107 @@
+"""Edge-case tests that cut across modules: the exception hierarchy,
+formatting helpers, and defensive checks that protect downstream users."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ReproError, available_schemes, create_scheme
+from repro.analysis import render_table
+from repro.crossbar import CrossbarConfig, PortDirection
+from repro.errors import (
+    CircuitError,
+    ConfigurationError,
+    CrossbarError,
+    NocError,
+    PowerError,
+    TechnologyError,
+    TimingError,
+)
+from repro.noc import Mesh, NetworkSimulator, TrafficConfig
+from repro.power import analyse_minimum_idle_time
+
+
+class TestErrorHierarchy:
+    def test_every_domain_error_is_a_repro_error(self):
+        for error_type in (TechnologyError, CircuitError, TimingError, CrossbarError,
+                           PowerError, NocError, ConfigurationError):
+            assert issubclass(error_type, ReproError)
+
+    def test_domain_errors_are_distinct(self):
+        assert not issubclass(TechnologyError, CircuitError)
+        assert not issubclass(NocError, PowerError)
+
+    def test_library_raises_repro_errors_not_bare_exceptions(self, library):
+        with pytest.raises(ReproError):
+            create_scheme("NOPE", library)
+
+
+class TestPortDirections:
+    def test_five_ports_in_paper_order(self):
+        ports = PortDirection.ordered()
+        assert len(ports) == 5
+        assert ports[0] is PortDirection.NORTH
+        assert ports[-1] is PortDirection.PE
+
+    def test_port_values_are_stable_strings(self):
+        assert {port.value for port in PortDirection} == {"north", "south", "west", "east", "pe"}
+
+
+class TestRenderTableEdges:
+    def test_single_column_table(self):
+        text = render_table(["only"], [["a"], ["b"]])
+        assert "only" in text and "a" in text
+
+    def test_boolean_cells_render_yes_no(self):
+        text = render_table(["flag"], [[True], [False]])
+        assert "yes" in text and "no" in text
+
+    def test_empty_rows_allowed(self):
+        text = render_table(["a", "b"], [])
+        assert "a" in text
+
+    def test_title_prepended(self):
+        assert render_table(["a"], [[1]], title="My Title").startswith("My Title")
+
+
+class TestSchemeScaling:
+    def test_larger_radix_crossbar_leaks_more(self, library):
+        small = create_scheme("SC", library, CrossbarConfig(flit_width=16, port_count=4))
+        large = create_scheme("SC", library, CrossbarConfig(flit_width=16, port_count=5))
+        assert large.active_leakage_power() > small.active_leakage_power()
+
+    def test_savings_shape_holds_for_a_64_bit_crossbar(self, library):
+        config = CrossbarConfig(flit_width=64)
+        baseline = create_scheme("SC", library, config).active_leakage_power()
+        savings = {
+            name: 1 - create_scheme(name, library, config).active_leakage_power() / baseline
+            for name in ("DFC", "DPC", "SDPC")
+        }
+        assert savings["DFC"] < savings["DPC"] < savings["SDPC"]
+
+    def test_every_registered_scheme_evaluates_without_error(self, library):
+        config = CrossbarConfig(flit_width=8)
+        for name in available_schemes():
+            scheme = create_scheme(name, library, config)
+            assert scheme.total_power() > 0
+            assert analyse_minimum_idle_time(scheme).minimum_idle_cycles >= 1
+
+
+class TestSimulatorEdges:
+    def test_two_node_mesh_delivers_traffic(self):
+        mesh = Mesh(2, 1)
+        result = NetworkSimulator(mesh, TrafficConfig(injection_rate=0.2, packet_length=1,
+                                                      seed=4)).run(500, 50)
+        assert result.latency.ejected_flits > 0
+
+    def test_saturating_load_does_not_crash_and_drops_are_counted(self):
+        mesh = Mesh(2, 2)
+        simulator = NetworkSimulator(mesh, TrafficConfig(injection_rate=1.0, packet_length=4,
+                                                         seed=4))
+        result = simulator.run(400, 0)
+        assert result.latency.ejected_flits > 0
+        assert result.dropped_injections >= 0
+
+    def test_router_lookup_outside_mesh_raises(self):
+        with pytest.raises(NocError):
+            Mesh(2, 2).router((5, 5))

@@ -1,0 +1,397 @@
+"""Tests for the NoC substrate: flits, buffers, arbitration, routing,
+routers, mesh, the cycle-based simulator, traffic, power gating and the
+network power roll-up."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crossbar import PortDirection
+from repro.errors import NocError
+from repro.noc import (
+    Flit,
+    FlitBuffer,
+    FlitType,
+    GatingPolicy,
+    IdleIntervalTracker,
+    Mesh,
+    NetworkSimulator,
+    NocPowerConfig,
+    NocPowerModel,
+    Packet,
+    RoundRobinArbiter,
+    Router,
+    TrafficConfig,
+    TrafficGenerator,
+    TrafficPattern,
+    evaluate_gating,
+    evaluate_oracle_gating,
+    opposite_port,
+    xy_route,
+)
+from repro.power import analyse_minimum_idle_time
+
+
+class TestFlitsAndPackets:
+    def test_single_flit_packet(self):
+        packet = Packet(source=(0, 0), destination=(1, 1), length_flits=1)
+        flits = packet.flits()
+        assert len(flits) == 1
+        assert flits[0].flit_type is FlitType.SINGLE
+
+    def test_multi_flit_packet_head_body_tail(self):
+        packet = Packet(source=(0, 0), destination=(1, 1), length_flits=4)
+        types = [flit.flit_type for flit in packet.flits()]
+        assert types[0] is FlitType.HEAD
+        assert types[-1] is FlitType.TAIL
+        assert all(t is FlitType.BODY for t in types[1:-1])
+
+    def test_packet_ids_unique(self):
+        a = Packet((0, 0), (1, 1), 2)
+        b = Packet((0, 0), (1, 1), 2)
+        assert a.packet_id != b.packet_id
+
+    def test_latency_requires_ejection(self):
+        flit = Flit(0, FlitType.SINGLE, (0, 0), (1, 1), injection_cycle=5)
+        with pytest.raises(NocError):
+            _ = flit.latency
+        flit.ejection_cycle = 9
+        assert flit.latency == 4
+
+    def test_zero_length_packet_rejected(self):
+        with pytest.raises(NocError):
+            Packet((0, 0), (1, 1), 0)
+
+
+class TestFlitBuffer:
+    def test_fifo_order(self):
+        buffer = FlitBuffer(capacity=4)
+        first = Flit(0, FlitType.SINGLE, (0, 0), (1, 1))
+        second = Flit(1, FlitType.SINGLE, (0, 0), (1, 1))
+        buffer.push(first)
+        buffer.push(second)
+        assert buffer.pop() is first
+        assert buffer.pop() is second
+
+    def test_overflow_raises(self):
+        buffer = FlitBuffer(capacity=1)
+        buffer.push(Flit(0, FlitType.SINGLE, (0, 0), (1, 1)))
+        assert buffer.is_full
+        with pytest.raises(NocError):
+            buffer.push(Flit(1, FlitType.SINGLE, (0, 0), (1, 1)))
+
+    def test_empty_pop_raises(self):
+        with pytest.raises(NocError):
+            FlitBuffer(capacity=1).pop()
+
+    def test_occupancy_statistics(self):
+        buffer = FlitBuffer(capacity=2)
+        buffer.push(Flit(0, FlitType.SINGLE, (0, 0), (1, 1)))
+        buffer.record_cycle()
+        buffer.record_cycle()
+        assert buffer.average_occupancy == pytest.approx(1.0)
+        assert buffer.utilisation == pytest.approx(0.5)
+        assert buffer.peak_occupancy == 1
+
+
+class TestArbiterAndRouting:
+    def test_round_robin_fairness(self):
+        arbiter = RoundRobinArbiter(3)
+        grants = [arbiter.grant([True, True, True]) for _ in range(6)]
+        assert grants == [0, 1, 2, 0, 1, 2]
+
+    def test_no_request_returns_none(self):
+        assert RoundRobinArbiter(3).grant([False, False, False]) is None
+
+    def test_wrong_width_rejected(self):
+        with pytest.raises(NocError):
+            RoundRobinArbiter(3).grant([True])
+
+    def test_xy_routes_x_before_y(self):
+        assert xy_route((0, 0), (2, 2)) is PortDirection.EAST
+        assert xy_route((2, 0), (2, 2)) is PortDirection.NORTH
+        assert xy_route((2, 2), (0, 2)) is PortDirection.WEST
+        assert xy_route((2, 2), (2, 0)) is PortDirection.SOUTH
+
+    def test_xy_ejects_at_destination(self):
+        assert xy_route((1, 1), (1, 1)) is PortDirection.PE
+
+    def test_opposite_ports(self):
+        assert opposite_port(PortDirection.EAST) is PortDirection.WEST
+        assert opposite_port(PortDirection.NORTH) is PortDirection.SOUTH
+        with pytest.raises(NocError):
+            opposite_port(PortDirection.PE)
+
+
+class TestRouterAndMesh:
+    def test_router_routes_head_flit_to_correct_output(self):
+        router = Router((0, 0))
+        router.accept(PortDirection.PE, Flit(0, FlitType.SINGLE, (0, 0), (2, 0)))
+        moves = router.decide_moves()
+        assert len(moves) == 1
+        assert moves[0].output_port is PortDirection.EAST
+
+    def test_router_arbitrates_one_winner_per_output(self):
+        router = Router((0, 0))
+        router.accept(PortDirection.PE, Flit(0, FlitType.SINGLE, (0, 0), (2, 0)))
+        router.accept(PortDirection.WEST, Flit(1, FlitType.SINGLE, (3, 0), (2, 0)))
+        moves = router.decide_moves()
+        east_moves = [m for m in moves if m.output_port is PortDirection.EAST]
+        assert len(east_moves) == 1
+
+    def test_commit_move_pops_and_counts(self):
+        router = Router((0, 0))
+        router.accept(PortDirection.PE, Flit(0, FlitType.SINGLE, (0, 0), (1, 0)))
+        move = router.decide_moves()[0]
+        flit = router.commit_move(move)
+        assert flit.hops == 1
+        assert router.crossbar_traversals == 1
+        assert router.input_buffers[PortDirection.PE].is_empty
+
+    def test_mesh_neighbours_and_edges(self):
+        mesh = Mesh(3, 3)
+        assert mesh.neighbour((0, 0), PortDirection.EAST) == (1, 0)
+        assert mesh.neighbour((0, 0), PortDirection.WEST) is None
+        assert mesh.neighbour((2, 2), PortDirection.NORTH) is None
+        assert mesh.node_count == 9
+
+    def test_mesh_average_hop_count(self):
+        # For a 2x2 mesh every pair is 1 or 2 hops apart; mean is 4/3.
+        assert Mesh(2, 2).average_hop_count() == pytest.approx(4 / 3)
+
+    def test_invalid_mesh_rejected(self):
+        with pytest.raises(NocError):
+            Mesh(0, 3)
+        with pytest.raises(NocError):
+            Mesh(1, 1)
+
+
+class TestTraffic:
+    def test_generation_rate_close_to_target(self):
+        config = TrafficConfig(injection_rate=0.2, packet_length=2, seed=7)
+        generator = TrafficGenerator(config, 4, 4)
+        cycles = 4000
+        flits = 0
+        for cycle in range(cycles):
+            for node in [(x, y) for x in range(4) for y in range(4)]:
+                for packet in generator.generate(cycle, node):
+                    flits += packet.length_flits
+        measured = flits / (cycles * 16)
+        assert measured == pytest.approx(0.2, rel=0.15)
+
+    def test_transpose_destination(self):
+        config = TrafficConfig(pattern=TrafficPattern.TRANSPOSE, injection_rate=1.0,
+                               packet_length=1, seed=1)
+        generator = TrafficGenerator(config, 4, 4)
+        packets = []
+        for cycle in range(50):
+            packets.extend(generator.generate(cycle, (1, 3)))
+        assert packets, "transpose traffic should generate packets at rate 1.0"
+        assert all(packet.destination == (3, 1) for packet in packets)
+
+    def test_bit_complement_destination(self):
+        config = TrafficConfig(pattern=TrafficPattern.BIT_COMPLEMENT, injection_rate=1.0,
+                               packet_length=1, seed=1)
+        generator = TrafficGenerator(config, 4, 4)
+        packets = []
+        for cycle in range(50):
+            packets.extend(generator.generate(cycle, (0, 1)))
+        assert all(packet.destination == (3, 2) for packet in packets)
+
+    def test_hotspot_biases_destinations(self):
+        config = TrafficConfig(pattern=TrafficPattern.HOTSPOT, hotspot_node=(0, 0),
+                               hotspot_fraction=0.8, injection_rate=1.0, packet_length=1, seed=5)
+        generator = TrafficGenerator(config, 4, 4)
+        destinations = []
+        for cycle in range(300):
+            destinations.extend(p.destination for p in generator.generate(cycle, (3, 3)))
+        hot = sum(1 for d in destinations if d == (0, 0))
+        assert hot / len(destinations) > 0.6
+
+    def test_never_sends_to_self(self):
+        config = TrafficConfig(pattern=TrafficPattern.UNIFORM, injection_rate=1.0,
+                               packet_length=1, seed=2)
+        generator = TrafficGenerator(config, 2, 2)
+        for cycle in range(200):
+            for packet in generator.generate(cycle, (0, 0)):
+                assert packet.destination != (0, 0)
+
+    def test_deterministic_for_fixed_seed(self):
+        config = TrafficConfig(injection_rate=0.3, seed=11)
+        a = TrafficGenerator(config, 3, 3)
+        b = TrafficGenerator(config, 3, 3)
+        trace_a = [len(a.generate(c, (1, 1))) for c in range(200)]
+        trace_b = [len(b.generate(c, (1, 1))) for c in range(200)]
+        assert trace_a == trace_b
+
+    def test_hotspot_requires_node(self):
+        with pytest.raises(NocError):
+            TrafficConfig(pattern=TrafficPattern.HOTSPOT)
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(NocError):
+            TrafficConfig(injection_rate=1.5)
+
+
+class TestIdleIntervalTracker:
+    def test_intervals_and_fractions(self):
+        tracker = IdleIntervalTracker()
+        for busy in [True, False, False, True, False, False, False, True]:
+            tracker.record(busy)
+        tracker.finalise()
+        assert tracker.idle_intervals() == [2, 3]
+        assert tracker.idle_fraction == pytest.approx(5 / 8)
+        assert tracker.intervals_of_at_least(3) == [3]
+        assert tracker.gateable_idle_fraction(3) == pytest.approx(3 / 8)
+
+    def test_trailing_idle_interval_closed_on_finalise(self):
+        tracker = IdleIntervalTracker()
+        for busy in [True, False, False]:
+            tracker.record(busy)
+        tracker.finalise()
+        assert tracker.idle_intervals() == [2]
+
+    def test_reading_before_finalise_raises(self):
+        tracker = IdleIntervalTracker()
+        tracker.record(False)
+        with pytest.raises(NocError):
+            tracker.idle_intervals()
+
+
+class TestNetworkSimulation:
+    @pytest.fixture(scope="class")
+    def simulation(self):
+        mesh = Mesh(4, 4)
+        traffic = TrafficConfig(injection_rate=0.1, packet_length=4, seed=3)
+        return NetworkSimulator(mesh, traffic).run(cycles=1500, warmup_cycles=100)
+
+    def test_flits_are_delivered(self, simulation):
+        assert simulation.latency.ejected_flits > 100
+
+    def test_latency_at_least_hop_distance(self, simulation):
+        assert simulation.average_latency >= 1.0
+
+    def test_throughput_tracks_offered_load(self, simulation):
+        assert simulation.accepted_throughput == pytest.approx(0.1, rel=0.3)
+
+    def test_utilisation_between_zero_and_one(self, simulation):
+        assert 0.0 < simulation.average_crossbar_utilisation < 1.0
+
+    def test_idle_intervals_collected(self, simulation):
+        intervals = simulation.idle_intervals()
+        assert len(intervals) > 50
+        assert all(interval >= 1 for interval in intervals)
+
+    def test_higher_load_increases_latency_and_utilisation(self):
+        def run(rate):
+            mesh = Mesh(3, 3)
+            return NetworkSimulator(mesh, TrafficConfig(injection_rate=rate, seed=9)).run(1200, 100)
+
+        light = run(0.05)
+        heavy = run(0.35)
+        assert heavy.average_crossbar_utilisation > light.average_crossbar_utilisation
+        assert heavy.average_latency >= light.average_latency
+
+    def test_bursty_traffic_creates_longer_idle_intervals(self):
+        def run(burst_on):
+            mesh = Mesh(3, 3)
+            traffic = TrafficConfig(injection_rate=0.08, burst_on_fraction=burst_on,
+                                    burst_phase_length=40, seed=5)
+            return NetworkSimulator(mesh, traffic).run(2500, 100)
+
+        smooth = run(1.0)
+        bursty = run(0.25)
+        longest_smooth = max(smooth.idle_intervals())
+        longest_bursty = max(bursty.idle_intervals())
+        assert longest_bursty >= longest_smooth
+
+    def test_zero_cycle_run_rejected(self):
+        simulator = NetworkSimulator(Mesh(2, 2), TrafficConfig())
+        with pytest.raises(NocError):
+            simulator.run(0)
+
+
+class TestPowerGating:
+    def _idle_analysis(self, schemes):
+        return analyse_minimum_idle_time(schemes["DPC"])
+
+    def test_timeout_gating_saves_energy_on_long_intervals(self, schemes):
+        analysis = self._idle_analysis(schemes)
+        idle_power = schemes["DPC"].idle_leakage().power(schemes["DPC"].supply_voltage)
+        standby_power = schemes["DPC"].standby_leakage_power()
+        report = evaluate_gating([100, 200, 300], 1000, analysis, idle_power, standby_power,
+                                 GatingPolicy(idle_detect_cycles=4))
+        assert report.net_energy_saved > 0
+        assert report.sleep_transitions == 3
+        assert 0.9 < report.gated_fraction_of_idle <= 1.0
+
+    def test_short_intervals_are_not_gated(self, schemes):
+        analysis = self._idle_analysis(schemes)
+        idle_power = schemes["DPC"].idle_leakage().power(1.0)
+        standby_power = schemes["DPC"].standby_leakage_power()
+        report = evaluate_gating([1, 2, 3], 100, analysis, idle_power, standby_power,
+                                 GatingPolicy(idle_detect_cycles=4))
+        assert report.gated_cycles == 0
+        assert report.sleep_transitions == 0
+
+    def test_oracle_beats_timeout_policy(self, schemes):
+        analysis = self._idle_analysis(schemes)
+        idle_power = schemes["DPC"].idle_leakage().power(1.0)
+        standby_power = schemes["DPC"].standby_leakage_power()
+        intervals = [2, 5, 50, 200, 3, 80]
+        timeout = evaluate_gating(intervals, 1000, analysis, idle_power, standby_power,
+                                  GatingPolicy(idle_detect_cycles=8))
+        oracle = evaluate_oracle_gating(intervals, 1000, analysis, idle_power, standby_power)
+        assert oracle.net_energy_saved >= timeout.net_energy_saved
+
+    def test_gating_rejects_idle_below_standby(self, schemes):
+        analysis = self._idle_analysis(schemes)
+        with pytest.raises(NocError):
+            evaluate_gating([10], 100, analysis, idle_power=1e-6, standby_power=2e-6)
+
+    def test_policy_validation(self):
+        with pytest.raises(NocError):
+            GatingPolicy(idle_detect_cycles=0)
+
+
+class TestNocPower:
+    @pytest.fixture(scope="class")
+    def simulation(self):
+        mesh = Mesh(3, 3)
+        traffic = TrafficConfig(injection_rate=0.1, seed=3)
+        return NetworkSimulator(mesh, traffic).run(1000, 100)
+
+    def test_report_components_positive(self, schemes, simulation):
+        model = NocPowerModel(schemes["SC"])
+        report = model.evaluate(simulation)
+        assert report.crossbar_dynamic > 0
+        assert report.crossbar_leakage > 0
+        assert report.buffer_leakage > 0
+        assert report.link_dynamic > 0
+        assert report.total == pytest.approx(
+            report.crossbar_dynamic + report.crossbar_leakage
+            + report.buffer_leakage + report.link_dynamic
+        )
+
+    def test_gating_reduces_crossbar_leakage(self, schemes, simulation):
+        gated = NocPowerModel(schemes["DPC"], NocPowerConfig(gating_enabled=True)).evaluate(simulation)
+        ungated = NocPowerModel(schemes["DPC"], NocPowerConfig(gating_enabled=False)).evaluate(simulation)
+        assert gated.crossbar_leakage < ungated.crossbar_leakage
+        assert gated.gating_net_saving > 0
+
+    def test_leakage_aware_scheme_lowers_network_leakage(self, schemes, simulation):
+        sc = NocPowerModel(schemes["SC"], NocPowerConfig(gating_enabled=False)).evaluate(simulation)
+        sdpc = NocPowerModel(schemes["SDPC"], NocPowerConfig(gating_enabled=False)).evaluate(simulation)
+        assert sdpc.crossbar_leakage < sc.crossbar_leakage
+
+    def test_energy_per_traversal_and_link_energy_positive(self, schemes):
+        model = NocPowerModel(schemes["SC"])
+        assert model.crossbar_energy_per_traversal() > 0
+        assert model.link_energy_per_flit() > 0
+        assert model.buffer_leakage_per_router() > 0
+
+    def test_config_validation(self):
+        with pytest.raises(NocError):
+            NocPowerConfig(buffer_depth=0)
+        with pytest.raises(NocError):
+            NocPowerConfig(link_length=0.0)
