@@ -15,10 +15,9 @@
 
 from __future__ import annotations
 
-from repro import create_all_schemes, create_scheme, default_45nm
-from repro.analysis import render_table
-from repro.analysis.sweep import crossover_point, run_sweep
-from repro.power import analyse_total_power, power_versus_static_probability
+from repro import DesignSpace, Evaluator, create_all_schemes, default_45nm, paper_experiment
+from repro.analysis import render_table, sweep_table
+from repro.analysis.sweep import crossover_points, run_sweep
 
 
 def test_segmentation_ablation(benchmark):
@@ -67,26 +66,22 @@ def test_segmentation_ablation(benchmark):
 
 def test_static_probability_sweep(benchmark):
     """Total power versus static probability: the pre-charged schemes' polarity sensitivity."""
-    library = default_45nm()
+    schemes = ["SC", "DFC", "DPC", "SDPC"]
     probabilities = [0.1, 0.3, 0.5, 0.7, 0.9]
+    space = DesignSpace.single_sweep("static_probability", probabilities)
+    evaluator = Evaluator(base_config=paper_experiment(), scheme_names=schemes)
 
     def measure():
-        series = {}
-        for name in ("SC", "DFC", "DPC", "SDPC"):
-            scheme = create_scheme(name, library)
-            series[name] = [
-                point.total * 1e3
-                for point in power_versus_static_probability(scheme, probabilities)
-            ]
-        return series
+        results = evaluator.evaluate(space)
+        return results, {
+            name: [value for _, value in results.series(name, "total_power_mw")]
+            for name in schemes
+        }
 
-    series = benchmark.pedantic(measure, rounds=1, iterations=1)
-    rows = [[name] + values for name, values in series.items()]
+    results, series = benchmark.pedantic(measure, rounds=1, iterations=1)
     print()
-    print(render_table(
-        ["scheme"] + [f"p1={p}" for p in probabilities], rows,
-        title="Total power (mW) vs static probability of logic 1",
-    ))
+    print(sweep_table(results, schemes, "total_power_mw",
+                      title="Total power (mW) vs static probability of logic 1"))
     # Pre-charged schemes get cheaper as data skews toward the pre-charged
     # value (logic 1); feedback schemes are far less polarity-sensitive (their
     # small residual sensitivity comes from state-dependent leakage only).
@@ -97,24 +92,23 @@ def test_static_probability_sweep(benchmark):
 
     dpc_series = run_sweep("DPC", probabilities, lambda p: dict(zip(probabilities, series["DPC"]))[p])
     dfc_series = run_sweep("DFC", probabilities, lambda p: dict(zip(probabilities, series["DFC"]))[p])
-    crossover = crossover_point(dpc_series, dfc_series)
-    print(f"DPC/DFC total-power crossover at static probability: {crossover}")
+    crossings = crossover_points(dpc_series, dfc_series)
+    print(f"DPC/DFC total-power crossover(s) at static probability: {list(crossings) or None}")
 
 
 def test_worst_case_static_probability_for_precharged_schemes(benchmark):
     """Table 1 footnote: 50 % static probability maximises DPC/SDPC power."""
-    library = default_45nm()
     probabilities = [0.5, 0.75, 0.95]
+    space = DesignSpace.single_sweep("static_probability", probabilities)
+    evaluator = Evaluator(base_config=paper_experiment(),
+                          scheme_names=["DPC", "SDPC"], baseline_name="DPC")
 
     def measure():
-        result = {}
-        for name in ("DPC", "SDPC"):
-            scheme = create_scheme(name, library)
-            result[name] = {
-                probability: analyse_total_power(scheme, static_probability=probability).total * 1e3
-                for probability in probabilities
-            }
-        return result
+        results = evaluator.evaluate(space)
+        return {
+            name: dict(results.series(name, "total_power_mw"))
+            for name in ("DPC", "SDPC")
+        }
 
     totals = benchmark.pedantic(measure, rounds=1, iterations=1)
     rows = [[name] + [totals[name][p] for p in probabilities] for name in totals]
@@ -127,17 +121,19 @@ def test_worst_case_static_probability_for_precharged_schemes(benchmark):
 
 def test_temperature_sensitivity_ablation(benchmark):
     """Leakage savings survive across junction temperatures (design-space check)."""
+    temperatures = [25.0, 70.0, 110.0]
+    space = DesignSpace.single_sweep("temperature_celsius", temperatures)
+    evaluator = Evaluator(base_config=paper_experiment())
+
     def measure():
-        result = {}
-        for temperature in (25.0, 70.0, 110.0):
-            library = default_45nm(temperature_celsius=temperature)
-            schemes = create_all_schemes(library)
-            baseline = schemes["SC"].active_leakage_power()
-            result[temperature] = {
-                name: (1.0 - schemes[name].active_leakage_power() / baseline) * 100.0
+        results = evaluator.evaluate(space)
+        return {
+            temperature: {
+                name: dict(results.series(name, "active_leakage_saving_percent"))[temperature]
                 for name in ("DFC", "DPC", "SDFC", "SDPC")
             }
-        return result
+            for temperature in temperatures
+        }
 
     savings = benchmark.pedantic(measure, rounds=1, iterations=1)
     rows = [[t] + [savings[t][name] for name in ("DFC", "DPC", "SDFC", "SDPC")]

@@ -1,0 +1,101 @@
+"""Throughput benchmarks for the design-space engine.
+
+Measures points/second over a 32-point grid for the serial and process
+executors, verifies the two paths agree bit-for-bit, verifies a re-run
+is served entirely from the cache, and writes the numbers to
+``BENCH_engine.json`` at the repo root so CI can track the perf
+trajectory across PRs.
+
+Honesty note: the recorded ``cpu_count`` matters — on a single-core
+container the process executor cannot beat serial (pool start-up is pure
+overhead), so the speedup column only becomes meaningful on multi-core
+runners.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro import DesignSpace, Evaluator, paper_experiment
+
+BENCH_PATH = Path(__file__).resolve().parents[1] / "BENCH_engine.json"
+
+SCHEMES = ["SC", "SDPC"]
+GRID = {
+    "static_probability": [0.1, 0.2, 0.3, 0.4, 0.6, 0.7, 0.8, 0.9],
+    "temperature_celsius": [25.0, 55.0, 85.0, 110.0],
+}
+
+
+def _timed_evaluate(evaluator: Evaluator, space: DesignSpace):
+    start = time.perf_counter()
+    results = evaluator.evaluate(space)
+    return results, time.perf_counter() - start
+
+
+def test_engine_throughput_and_cache(benchmark):
+    """Serial vs process points/sec, executor parity, and 100 % cache re-run."""
+    space = DesignSpace.grid(GRID)
+    assert len(space) >= 32
+
+    serial = Evaluator(base_config=paper_experiment(), scheme_names=SCHEMES,
+                       executor="serial")
+    serial_results, serial_s = benchmark.pedantic(
+        lambda: _timed_evaluate(serial, space), rounds=1, iterations=1)
+    assert serial_results.cache_hit_count == 0
+
+    process = Evaluator(base_config=paper_experiment(), scheme_names=SCHEMES,
+                        executor="process")
+    process_results, process_s = _timed_evaluate(process, space)
+
+    # The process path must be bit-identical to the serial path.
+    assert [p.records for p in process_results] == [p.records for p in serial_results]
+
+    # A second identical run hits the cache on every point.
+    cached_results, cached_s = _timed_evaluate(serial, space)
+    assert cached_results.cache_hit_count == len(space)
+    assert [p.records for p in cached_results] == [p.records for p in serial_results]
+
+    points = len(space)
+    payload = {
+        "grid_points": points,
+        "schemes": SCHEMES,
+        "cpu_count": os.cpu_count(),
+        "serial_seconds": serial_s,
+        "process_seconds": process_s,
+        "cached_seconds": cached_s,
+        "serial_points_per_second": points / serial_s,
+        "process_points_per_second": points / process_s,
+        "cached_points_per_second": points / cached_s,
+        "process_speedup_vs_serial": serial_s / process_s,
+        "cache_speedup_vs_serial": serial_s / cached_s,
+        "cache_hit_rate_second_run": cached_results.cache_hit_count / points,
+    }
+    BENCH_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
+                          encoding="utf-8")
+    print()
+    print(f"engine throughput ({points} points, schemes {SCHEMES}, "
+          f"{payload['cpu_count']} cpu):")
+    print(f"  serial : {payload['serial_points_per_second']:8.1f} points/s")
+    print(f"  process: {payload['process_points_per_second']:8.1f} points/s "
+          f"({payload['process_speedup_vs_serial']:.2f}x serial)")
+    print(f"  cached : {payload['cached_points_per_second']:8.1f} points/s "
+          f"({payload['cache_speedup_vs_serial']:.0f}x serial)")
+
+    # The cache must make the re-run at least an order of magnitude faster.
+    assert payload["cache_speedup_vs_serial"] > 10.0
+
+
+def test_engine_disk_cache_cold_start(benchmark, tmp_path):
+    """A fresh process (simulated: fresh evaluator) reuses the disk cache."""
+    space = DesignSpace.grid({"static_probability": [0.25, 0.5, 0.75]})
+    warm = Evaluator(scheme_names=SCHEMES, cache_dir=tmp_path / "engine-cache")
+    benchmark.pedantic(lambda: warm.evaluate(space), rounds=1, iterations=1)
+
+    cold = Evaluator(scheme_names=SCHEMES, cache_dir=tmp_path / "engine-cache")
+    results = cold.evaluate(space)
+    assert results.cache_hit_count == len(space)
+    assert cold.cache.stats.disk_hits == len(space)

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Local mirror of .github/workflows/ci.yml — run the exact CI gate before
+# pushing.  Offline-safe: installs nothing and skips tools that are not
+# available (CI installs them; locally they are optional).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "==> Compile check (python -m compileall src)"
+python -m compileall -q src
+
+if python -c "import pyflakes" >/dev/null 2>&1; then
+    echo "==> Lint (pyflakes)"
+    python -m pyflakes src tests benchmarks examples scripts
+else
+    echo "==> Lint skipped: pyflakes not installed (CI runs it)"
+fi
+
+echo "==> Tier-1 tests"
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m pytest -x -q
+
+echo "==> Engine benchmark smoke (writes BENCH_engine.json)"
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m pytest benchmarks -q -k "engine" --benchmark-disable-gc
+
+echo "==> BENCH_engine.json"
+cat BENCH_engine.json
+
+echo "==> CI gate passed"

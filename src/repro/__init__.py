@@ -25,6 +25,7 @@ from .core.comparison import SchemeComparison, compare_schemes
 from .core.config import ExperimentConfig, paper_experiment
 from .core.design_space import sweep_parameter
 from .core.scheme_evaluator import SchemeEvaluator, SchemeResult
+from .engine import DesignSpace, EvaluationCache, Evaluator, ResultSet
 from .crossbar import (
     CrossbarConfig,
     CrossbarScheme,
@@ -47,9 +48,13 @@ __version__ = "1.0.0"
 __all__ = [
     "CrossbarConfig",
     "CrossbarScheme",
+    "DesignSpace",
+    "EvaluationCache",
+    "Evaluator",
     "ExperimentConfig",
     "PortDirection",
     "ReproError",
+    "ResultSet",
     "SchemeComparison",
     "SchemeEvaluator",
     "SchemeResult",

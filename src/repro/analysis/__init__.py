@@ -5,8 +5,9 @@ from .figures import (
     SegmentationStructure,
     describe_output_path,
     describe_segmentation,
+    sweep_table,
 )
-from .sweep import SweepSeries, crossover_point, run_sweep
+from .sweep import SweepSeries, crossover_point, crossover_points, run_sweep
 from .table import render_table
 
 __all__ = [
@@ -14,8 +15,10 @@ __all__ = [
     "SegmentationStructure",
     "SweepSeries",
     "crossover_point",
+    "crossover_points",
     "describe_output_path",
     "describe_segmentation",
     "render_table",
     "run_sweep",
+    "sweep_table",
 ]

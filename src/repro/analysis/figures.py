@@ -10,15 +10,21 @@ the figure benchmarks print and sanity-check them.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from ..circuit.devices import DeviceRole
 from ..crossbar.base import CrossbarScheme
-from ..errors import ReproError
+from ..errors import ConfigurationError, ReproError
 from ..technology.transistor import VtFlavor
+from .table import render_table
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from ..engine.resultset import ResultSet
 
 __all__ = ["OutputPathStructure", "SegmentationStructure", "describe_output_path",
-           "describe_segmentation"]
+           "describe_segmentation", "sweep_table"]
 
 
 @dataclass(frozen=True)
@@ -90,6 +96,43 @@ def describe_output_path(scheme: CrossbarScheme) -> OutputPathStructure:
         nominal_vt_count=statistics.count_by_flavor.get(VtFlavor.NOMINAL, 0),
         high_vt_roles=tuple(high_vt_roles),
     )
+
+
+def sweep_table(results: "ResultSet", schemes: Sequence[str], metric: str,
+                axis: str | None = None, title: str | None = None) -> str:
+    """Render one metric of a design-space :class:`~repro.engine.ResultSet`
+    as a scheme-by-axis-value text table (the design-space "figure").
+
+    The result set must vary only ``axis``: a multi-parameter set must be
+    sliced with :meth:`~repro.engine.ResultSet.filter` first, so every
+    column of the table is one well-defined design point.
+    """
+    if not schemes:
+        raise ConfigurationError("sweep_table needs at least one scheme")
+    if axis is None:
+        if len(results.parameters) != 1:
+            raise ConfigurationError(
+                f"sweep_table needs an explicit axis when the result set "
+                f"varies {results.parameters}"
+            )
+        axis = results.parameters[0]
+    for other in results.parameters:
+        if other == axis:
+            continue
+        values = results.axis_values(other)
+        if len(values) > 1:
+            raise ConfigurationError(
+                f"parameter {other!r} still takes {len(values)} values; "
+                f"filter() the result set down to one before tabulating"
+            )
+    pairs_by_scheme = {
+        scheme: results.series(scheme, metric, axis=axis) for scheme in schemes
+    }
+    axis_values = [value for value, _ in next(iter(pairs_by_scheme.values()))]
+    headers = ["scheme"] + [str(value) for value in axis_values]
+    rows = [[scheme] + [value for _, value in pairs_by_scheme[scheme]]
+            for scheme in schemes]
+    return render_table(headers, rows, title=title or f"{metric} vs {axis}")
 
 
 def describe_segmentation(scheme: CrossbarScheme) -> SegmentationStructure:

@@ -2,12 +2,13 @@
 
 from __future__ import annotations
 
-from collections.abc import Callable, Iterable, Sequence
+import math
+from collections.abc import Callable, Sequence
 from dataclasses import dataclass
 
 from ..errors import ReproError
 
-__all__ = ["SweepSeries", "run_sweep", "crossover_point"]
+__all__ = ["SweepSeries", "run_sweep", "crossover_point", "crossover_points"]
 
 
 @dataclass(frozen=True)
@@ -23,6 +24,11 @@ class SweepSeries:
             raise ReproError("a sweep series needs as many y values as x values")
         if not self.xs:
             raise ReproError("a sweep series cannot be empty")
+        for label, values in (("x", self.xs), ("y", self.ys)):
+            if any(math.isnan(value) for value in values):
+                raise ReproError(
+                    f"series {self.name!r} contains NaN {label} values"
+                )
 
 
 def run_sweep(name: str, xs: Sequence[float], function: Callable[[float], float]) -> SweepSeries:
@@ -32,26 +38,48 @@ def run_sweep(name: str, xs: Sequence[float], function: Callable[[float], float]
     return SweepSeries(name=name, xs=xs_tuple, ys=ys)
 
 
-def crossover_point(series_a: SweepSeries, series_b: SweepSeries) -> float | None:
-    """X value where ``series_a`` and ``series_b`` cross (linear interpolation).
+def crossover_points(series_a: SweepSeries, series_b: SweepSeries) -> tuple[float, ...]:
+    """Every x where ``series_a`` and ``series_b`` cross, in ascending grid order.
 
-    Both series must share the same x grid.  Returns ``None`` when one
-    series dominates the other over the whole sweep — callers report
-    "no crossover" in that case, which is itself a result (e.g. "the
-    pre-charged scheme never beats the feedback scheme at any static
-    probability").
+    Both series must share the same x grid.  Grid points where the two
+    series touch exactly count as crossings; sign changes between grid
+    points are located by linear interpolation.
     """
     if series_a.xs != series_b.xs:
-        raise ReproError("crossover_point requires both series to share the same x grid")
+        raise ReproError("crossover detection requires both series to share the same x grid")
     differences = [a - b for a, b in zip(series_a.ys, series_b.ys)]
+    crossings: list[float] = []
+    for index, difference in enumerate(differences):
+        if difference == 0.0:
+            crossings.append(series_a.xs[index])
     for index in range(1, len(differences)):
         previous, current = differences[index - 1], differences[index]
-        if previous == 0.0:
-            return series_a.xs[index - 1]
         if previous * current < 0:
             x0, x1 = series_a.xs[index - 1], series_a.xs[index]
             fraction = abs(previous) / (abs(previous) + abs(current))
-            return x0 + fraction * (x1 - x0)
-    if differences and differences[-1] == 0.0:
-        return series_a.xs[-1]
-    return None
+            crossings.append(x0 + fraction * (x1 - x0))
+    return tuple(sorted(crossings))
+
+
+def crossover_point(series_a: SweepSeries, series_b: SweepSeries) -> float | None:
+    """X value of the *unique* crossing of the two series.
+
+    Returns ``None`` when one series dominates the other over the whole
+    sweep — callers report "no crossover" in that case, which is itself
+    a result (e.g. "the pre-charged scheme never beats the feedback
+    scheme at any static probability").  When the series cross more than
+    once this raises :class:`~repro.errors.ReproError` rather than
+    silently returning the first crossing; use :func:`crossover_points`
+    to enumerate them.
+    """
+    crossings = crossover_points(series_a, series_b)
+    if not crossings:
+        return None
+    if len(crossings) > 1:
+        located = ", ".join(f"{x:g}" for x in crossings)
+        raise ReproError(
+            f"series {series_a.name!r} and {series_b.name!r} cross "
+            f"{len(crossings)} times (at x = {located}); use "
+            "crossover_points() to enumerate multiple crossings"
+        )
+    return crossings[0]

@@ -1,31 +1,29 @@
-"""Design-space exploration helpers.
+"""Design-space exploration helpers (legacy single-parameter API).
 
 The paper fixes one design point; a downstream user adopting these
 crossbars will immediately ask how the conclusions move with technology
-node, temperature, corner, flit width or crossbar radix.  The sweeps
-here answer that with the same evaluation machinery used for Table 1, so
-the answers are consistent with the headline reproduction.
+node, temperature, corner, flit width or crossbar radix.  This module
+keeps the original one-parameter ``sweep_parameter`` API as a thin
+wrapper over :mod:`repro.engine`, which generalises it to full grids,
+caching and parallel execution — new code should use the engine
+directly.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..engine.evaluator import Evaluator
+from ..engine.grid import SWEEPABLE_FIELDS
+from ..engine.grid import DesignSpace as _DesignSpace
 from ..errors import ConfigurationError
-from .comparison import SchemeComparison, compare_schemes
+from .comparison import SchemeComparison
 from .config import ExperimentConfig
 
 __all__ = ["SweepPoint", "DesignSpaceResult", "sweep_parameter"]
 
-#: Experiment fields a sweep may vary, with a note on what they exercise.
-_SWEEPABLE_FIELDS = {
-    "technology_node": "roadmap scaling of wires and devices",
-    "temperature_celsius": "leakage's exponential temperature dependence",
-    "corner": "process spread",
-    "clock_frequency": "how much slack the timing budget leaves for high Vt",
-    "static_probability": "data polarity (the pre-charged schemes' weak spot)",
-    "toggle_activity": "switching intensity",
-}
+#: Legacy alias; the engine owns the canonical table.
+_SWEEPABLE_FIELDS = SWEEPABLE_FIELDS
 
 
 @dataclass(frozen=True)
@@ -67,16 +65,20 @@ def sweep_parameter(
     base_config: ExperimentConfig | None = None,
     scheme_names: list[str] | None = None,
 ) -> DesignSpaceResult:
-    """Re-run the full scheme comparison for every value of ``parameter``."""
-    if parameter not in _SWEEPABLE_FIELDS:
-        known = ", ".join(sorted(_SWEEPABLE_FIELDS))
-        raise ConfigurationError(f"cannot sweep {parameter!r}; sweepable fields: {known}")
-    if not values:
-        raise ConfigurationError("a sweep needs at least one value")
-    config = base_config if base_config is not None else ExperimentConfig()
+    """Run the full scheme comparison for every value of ``parameter``.
+
+    Thin wrapper over :class:`repro.engine.Evaluator` with the serial
+    executor, so every point carries its live
+    :class:`~repro.core.comparison.SchemeComparison`.
+    """
+    space = _DesignSpace.single_sweep(parameter, values)
+    evaluator = Evaluator(base_config=base_config, scheme_names=scheme_names,
+                          executor="serial")
+    results = evaluator.evaluate(space)
     result = DesignSpaceResult(parameter=parameter)
-    for value in values:
-        point_config = config.with_overrides(**{parameter: value})
-        comparison = compare_schemes(point_config, scheme_names=scheme_names)
-        result.points.append(SweepPoint(parameter=parameter, value=value, comparison=comparison))
+    for point in results:
+        assert point.comparison is not None  # serial executor keeps comparisons
+        result.points.append(SweepPoint(parameter=parameter,
+                                        value=point.overrides[parameter],
+                                        comparison=point.comparison))
     return result

@@ -1,0 +1,44 @@
+"""Parallel, cached design-space evaluation engine (DESIGN.md S8+).
+
+The engine generalises the single-parameter sweep to arbitrary grids
+and explicit point lists (:class:`DesignSpace`), memoises every
+evaluated point behind a content-addressed cache
+(:class:`EvaluationCache`), fans misses out serially or across a
+process pool (:mod:`repro.engine.executor`), and returns a queryable
+:class:`ResultSet` (filtering, series extraction, Pareto fronts).
+
+Quickstart::
+
+    from repro.engine import DesignSpace, Evaluator
+
+    space = DesignSpace.grid({
+        "temperature_celsius": [25.0, 70.0, 110.0],
+        "static_probability": [0.1, 0.5, 0.9],
+    })
+    results = Evaluator(executor="auto").evaluate(space)
+    for value, power in results.filter(temperature_celsius=110.0).series(
+            "SDPC", "total_power_mw", axis="static_probability"):
+        print(value, power)
+"""
+
+from .cache import CacheStats, CachedEntry, EvaluationCache, point_key
+from .evaluator import Evaluator
+from .executor import ProcessExecutor, SerialExecutor, resolve_executor
+from .grid import SWEEPABLE_FIELDS, DesignSpace, GridPoint
+from .resultset import PointResult, ResultSet
+
+__all__ = [
+    "CacheStats",
+    "CachedEntry",
+    "DesignSpace",
+    "EvaluationCache",
+    "Evaluator",
+    "GridPoint",
+    "PointResult",
+    "ProcessExecutor",
+    "ResultSet",
+    "SWEEPABLE_FIELDS",
+    "SerialExecutor",
+    "point_key",
+    "resolve_executor",
+]

@@ -1,0 +1,145 @@
+"""Content-addressed cache for design-point evaluations.
+
+Every evaluation is keyed by a canonical hash of the full
+:class:`~repro.core.config.ExperimentConfig`, the evaluated scheme set,
+the baseline, and the model version — so two points that happen to
+coincide (overlapping sweeps, benchmark re-runs, a grid revisited with a
+wider axis) are evaluated once.  The cache is in-memory by default and
+optionally persists the JSON-safe comparison records to a directory,
+one file per key, so a later process pays nothing for points it has
+already seen.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..core.comparison import SchemeComparison
+from ..core.config import ExperimentConfig
+
+__all__ = ["CACHE_SCHEMA_VERSION", "point_key", "CacheStats", "CachedEntry",
+           "EvaluationCache"]
+
+#: Bump when the cached record layout changes; invalidates old disk entries.
+CACHE_SCHEMA_VERSION = 1
+
+
+def point_key(config: ExperimentConfig, scheme_names: Sequence[str],
+              baseline_name: str = "SC") -> str:
+    """Canonical content hash of one evaluation point.
+
+    The key covers everything the result depends on: the experiment
+    configuration (including the nested crossbar sizing), the scheme
+    list *in order* (record order follows it), the baseline, the model
+    version and the cache schema version.
+    """
+    from .. import __version__
+
+    payload = {
+        "schema": CACHE_SCHEMA_VERSION,
+        "model_version": __version__,
+        "config": dataclasses.asdict(config),
+        "schemes": list(scheme_names),
+        "baseline": baseline_name,
+    }
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"), default=repr)
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting for one cache instance."""
+
+    hits: int = 0
+    misses: int = 0
+    disk_hits: int = 0
+    puts: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (0.0 when never queried)."""
+        if self.lookups == 0:
+            return 0.0
+        return self.hits / self.lookups
+
+
+@dataclass
+class CachedEntry:
+    """One cached evaluation: JSON-safe records plus, when the point was
+    evaluated in this process, the live comparison object."""
+
+    records: list[dict]
+    comparison: SchemeComparison | None = None
+
+
+@dataclass
+class EvaluationCache:
+    """In-memory, optionally disk-backed store of evaluated points."""
+
+    directory: Path | None = None
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    def __post_init__(self) -> None:
+        if self.directory is not None:
+            self.directory = Path(self.directory)
+            self.directory.mkdir(parents=True, exist_ok=True)
+        self._memory: dict[str, CachedEntry] = {}
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+    def _disk_path(self, key: str) -> Path:
+        assert self.directory is not None
+        return self.directory / f"{key}.json"
+
+    def get(self, key: str) -> CachedEntry | None:
+        """Look up one key; counts a hit or a miss."""
+        entry = self._memory.get(key)
+        if entry is not None:
+            self.stats.hits += 1
+            return entry
+        if self.directory is not None:
+            path = self._disk_path(key)
+            if path.is_file():
+                try:
+                    payload = json.loads(path.read_text(encoding="utf-8"))
+                    records = payload["records"]
+                except (json.JSONDecodeError, KeyError, TypeError):
+                    records = None  # corrupt entry: treat as a miss
+                if isinstance(records, list):
+                    entry = CachedEntry(records=records)
+                    self._memory[key] = entry
+                    self.stats.hits += 1
+                    self.stats.disk_hits += 1
+                    return entry
+        self.stats.misses += 1
+        return None
+
+    def put(self, key: str, entry: CachedEntry) -> None:
+        """Store one evaluated point (records go to disk when enabled)."""
+        self._memory[key] = entry
+        self.stats.puts += 1
+        if self.directory is not None:
+            path = self._disk_path(key)
+            payload = {
+                "schema": CACHE_SCHEMA_VERSION,
+                "key": key,
+                "records": entry.records,
+            }
+            tmp = path.with_suffix(".json.tmp")
+            tmp.write_text(json.dumps(payload, sort_keys=True), encoding="utf-8")
+            os.replace(tmp, path)
+
+    def clear_memory(self) -> None:
+        """Drop the in-memory layer (disk entries, if any, survive)."""
+        self._memory.clear()

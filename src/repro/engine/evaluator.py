@@ -1,0 +1,116 @@
+"""The design-space evaluation engine.
+
+:class:`Evaluator` ties the layers together: it expands a
+:class:`~repro.engine.grid.DesignSpace` into configs, serves every point
+it can from the content-addressed cache, fans the misses out through the
+chosen executor, stores the fresh results, and reassembles everything —
+in grid order — into a :class:`~repro.engine.resultset.ResultSet`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from ..core.config import ExperimentConfig
+from ..crossbar.factory import available_schemes
+from ..errors import ConfigurationError
+from .cache import CachedEntry, EvaluationCache, point_key
+from .grid import DesignSpace
+from .executor import WorkItem, resolve_executor
+from .resultset import PointResult, ResultSet
+
+__all__ = ["Evaluator"]
+
+
+class Evaluator:
+    """Evaluates design spaces with caching and pluggable execution.
+
+    Parameters
+    ----------
+    base_config:
+        The configuration every grid point overrides (default: the
+        paper's point).
+    scheme_names / baseline_name:
+        Which schemes each point evaluates and which is the savings
+        baseline — the same contract as
+        :func:`~repro.core.comparison.compare_schemes`.
+    executor:
+        ``"serial"``, ``"process"``, ``"auto"``, or any object with a
+        ``run(items) -> results`` method.
+    cache / cache_dir:
+        An existing :class:`EvaluationCache` to share, or a directory
+        for a new disk-backed one.  By default the evaluator keeps a
+        private in-memory cache, so repeated points within and across
+        :meth:`evaluate` calls on the same evaluator are free.
+    """
+
+    def __init__(self, base_config: ExperimentConfig | None = None,
+                 scheme_names: Sequence[str] | None = None,
+                 baseline_name: str = "SC",
+                 executor: object = "serial",
+                 cache: EvaluationCache | None = None,
+                 cache_dir: object = None,
+                 max_workers: int | None = None) -> None:
+        self.base_config = base_config if base_config is not None else ExperimentConfig()
+        names = list(scheme_names) if scheme_names is not None else available_schemes()
+        if baseline_name not in names:
+            raise ConfigurationError(
+                f"baseline {baseline_name!r} must be among the evaluated schemes {names}"
+            )
+        self.scheme_names = tuple(names)
+        self.baseline_name = baseline_name
+        self.executor = executor
+        self.max_workers = max_workers
+        if cache is not None and cache_dir is not None:
+            raise ConfigurationError("pass either cache or cache_dir, not both")
+        self.cache = cache if cache is not None else EvaluationCache(directory=cache_dir)
+
+    def evaluate(self, space: DesignSpace) -> ResultSet:
+        """Evaluate every point of ``space``, cheapest way possible."""
+        grid_points = space.points()
+        configs = [point.config(self.base_config) for point in grid_points]
+        keys = [point_key(config, self.scheme_names, self.baseline_name)
+                for config in configs]
+
+        entries: list[CachedEntry | None] = [self.cache.get(key) for key in keys]
+        from_cache = [entry is not None for entry in entries]
+
+        # Deduplicate misses by key so a point repeated within one batch
+        # (overlapping sweeps, duplicated grid values) is evaluated once.
+        miss_indices_by_key: dict[str, list[int]] = {}
+        for i, entry in enumerate(entries):
+            if entry is None:
+                miss_indices_by_key.setdefault(keys[i], []).append(i)
+        if miss_indices_by_key:
+            unique_keys = list(miss_indices_by_key)
+            executor = resolve_executor(self.executor, point_count=len(unique_keys),
+                                        max_workers=self.max_workers)
+            items = [WorkItem(config=configs[miss_indices_by_key[key][0]],
+                              scheme_names=self.scheme_names,
+                              baseline_name=self.baseline_name)
+                     for key in unique_keys]
+            outcomes = executor.run(items)
+            for key, outcome in zip(unique_keys, outcomes):
+                entry = CachedEntry(records=outcome.records,
+                                    comparison=outcome.comparison)
+                self.cache.put(key, entry)
+                for i in miss_indices_by_key[key]:
+                    entries[i] = entry
+
+        results = []
+        for grid_point, config, entry, cached in zip(grid_points, configs,
+                                                     entries, from_cache):
+            assert entry is not None
+            results.append(PointResult(
+                index=grid_point.index,
+                items=grid_point.items,
+                config=config,
+                records=tuple(entry.records),
+                comparison=entry.comparison,
+                from_cache=cached,
+            ))
+        return ResultSet(parameters=space.parameters, points=results)
+
+    def evaluate_grid(self, axes: dict) -> ResultSet:
+        """Convenience: build the Cartesian grid and evaluate it."""
+        return self.evaluate(DesignSpace.grid(axes))

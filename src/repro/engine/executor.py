@@ -1,0 +1,140 @@
+"""Executor layer: how design points are fanned out.
+
+Three strategies share one interface:
+
+* ``serial`` — evaluate in-process, in order.  Keeps the live
+  :class:`~repro.core.comparison.SchemeComparison` objects, which the
+  legacy ``sweep_parameter`` wrapper needs.
+* ``process`` — fan out across cores with
+  :class:`concurrent.futures.ProcessPoolExecutor`.  Work items travel as
+  pickled frozen configs; results come back as the JSON-safe comparison
+  records, reassembled in submission order.
+* ``auto`` — ``process`` when the machine has more than one core and
+  the batch is large enough to amortise pool start-up, else ``serial``.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+
+from ..core.comparison import SchemeComparison, compare_schemes
+from ..core.config import ExperimentConfig
+from ..errors import ConfigurationError
+
+__all__ = ["WorkItem", "EvaluatedPoint", "SerialExecutor", "ProcessExecutor",
+           "resolve_executor"]
+
+#: Below this many misses, ``auto`` stays serial: pool start-up costs more
+#: than the evaluation itself.
+AUTO_PROCESS_THRESHOLD = 8
+
+
+@dataclass(frozen=True)
+class WorkItem:
+    """One evaluation to perform — fully picklable."""
+
+    config: ExperimentConfig
+    scheme_names: tuple[str, ...]
+    baseline_name: str
+
+
+@dataclass
+class EvaluatedPoint:
+    """The outcome of one work item.
+
+    ``comparison`` is only populated by the serial executor; results
+    crossing a process boundary carry records alone.
+    """
+
+    records: list[dict]
+    comparison: SchemeComparison | None = None
+
+
+def _evaluate_work_item(item: WorkItem) -> list[dict]:
+    """Process-pool worker: evaluate one point and return its records."""
+    comparison = compare_schemes(
+        item.config,
+        scheme_names=list(item.scheme_names),
+        baseline_name=item.baseline_name,
+    )
+    return comparison.as_records()
+
+
+class SerialExecutor:
+    """Evaluate work items one after another in the calling process."""
+
+    name = "serial"
+
+    def run(self, items: list[WorkItem]) -> list[EvaluatedPoint]:
+        results = []
+        for item in items:
+            comparison = compare_schemes(
+                item.config,
+                scheme_names=list(item.scheme_names),
+                baseline_name=item.baseline_name,
+            )
+            results.append(EvaluatedPoint(records=comparison.as_records(),
+                                          comparison=comparison))
+        return results
+
+
+class ProcessExecutor:
+    """Fan work items out across a process pool, preserving order."""
+
+    name = "process"
+
+    def __init__(self, max_workers: int | None = None,
+                 chunksize: int | None = None) -> None:
+        if max_workers is not None and max_workers < 1:
+            raise ConfigurationError("max_workers must be at least 1")
+        if chunksize is not None and chunksize < 1:
+            raise ConfigurationError("chunksize must be at least 1")
+        self.max_workers = max_workers
+        self.chunksize = chunksize
+
+    def _resolved_workers(self, item_count: int) -> int:
+        workers = self.max_workers or os.cpu_count() or 1
+        return max(1, min(workers, item_count))
+
+    def _resolved_chunksize(self, item_count: int, workers: int) -> int:
+        if self.chunksize is not None:
+            return self.chunksize
+        # ~4 chunks per worker balances scheduling overhead against skew.
+        return max(1, math.ceil(item_count / (workers * 4)))
+
+    def run(self, items: list[WorkItem]) -> list[EvaluatedPoint]:
+        if not items:
+            return []
+        workers = self._resolved_workers(len(items))
+        chunksize = self._resolved_chunksize(len(items), workers)
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            all_records = list(pool.map(_evaluate_work_item, items,
+                                        chunksize=chunksize))
+        return [EvaluatedPoint(records=records) for records in all_records]
+
+
+def resolve_executor(spec: object, point_count: int = 0,
+                     max_workers: int | None = None):
+    """Turn an executor spec into an executor instance.
+
+    ``spec`` may be an executor object (anything with a ``run`` method)
+    or one of the strings ``"serial"``, ``"process"``, ``"auto"``.
+    """
+    if hasattr(spec, "run"):
+        return spec
+    if spec == "serial":
+        return SerialExecutor()
+    if spec == "process":
+        return ProcessExecutor(max_workers=max_workers)
+    if spec == "auto":
+        cores = os.cpu_count() or 1
+        if cores > 1 and point_count >= AUTO_PROCESS_THRESHOLD:
+            return ProcessExecutor(max_workers=max_workers)
+        return SerialExecutor()
+    raise ConfigurationError(
+        f"unknown executor {spec!r}; expected 'serial', 'process', 'auto' "
+        "or an object with a run() method"
+    )

@@ -1,0 +1,127 @@
+"""Design-space grids: Cartesian products and explicit point lists.
+
+A :class:`DesignSpace` describes *which* experiment configurations to
+evaluate, independently of *how* they are evaluated (that is the
+evaluator's and executor's job).  Grids are fully materialised with a
+deterministic ordering — row-major over the axes in the order given,
+last axis fastest — so results can be cached, fanned out across
+processes and reassembled without ambiguity.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass
+
+from ..core.config import ExperimentConfig
+from ..errors import ConfigurationError
+
+__all__ = ["SWEEPABLE_FIELDS", "GridPoint", "DesignSpace"]
+
+#: Experiment fields a design space may vary, with a note on what they exercise.
+SWEEPABLE_FIELDS = {
+    "technology_node": "roadmap scaling of wires and devices",
+    "temperature_celsius": "leakage's exponential temperature dependence",
+    "corner": "process spread",
+    "clock_frequency": "how much slack the timing budget leaves for high Vt",
+    "static_probability": "data polarity (the pre-charged schemes' weak spot)",
+    "toggle_activity": "switching intensity",
+}
+
+
+def _check_parameter(name: str) -> None:
+    if name not in SWEEPABLE_FIELDS:
+        known = ", ".join(sorted(SWEEPABLE_FIELDS))
+        raise ConfigurationError(f"cannot sweep {name!r}; sweepable fields: {known}")
+
+
+@dataclass(frozen=True)
+class GridPoint:
+    """One point of a design space: a set of field overrides.
+
+    ``items`` is a tuple of ``(field, value)`` pairs in the design
+    space's parameter order, so points are hashable and their identity
+    is deterministic.
+    """
+
+    index: int
+    items: tuple[tuple[str, object], ...]
+
+    @property
+    def overrides(self) -> dict[str, object]:
+        """The overrides as a plain dict."""
+        return dict(self.items)
+
+    def config(self, base: ExperimentConfig) -> ExperimentConfig:
+        """Apply this point's overrides to ``base``."""
+        return base.with_overrides(**self.overrides)
+
+
+@dataclass(frozen=True)
+class DesignSpace:
+    """An ordered, finite set of experiment points over sweepable fields."""
+
+    parameters: tuple[str, ...]
+    point_values: tuple[tuple[object, ...], ...]
+
+    @classmethod
+    def grid(cls, axes: Mapping[str, Sequence[object]]) -> "DesignSpace":
+        """Full Cartesian product of ``axes``.
+
+        Ordering is row-major over the axes in the order given (the
+        last axis varies fastest), matching nested for-loops over the
+        axis values.
+        """
+        if not axes:
+            raise ConfigurationError("a design-space grid needs at least one axis")
+        materialised = {name: tuple(values) for name, values in axes.items()}
+        for name, values in materialised.items():
+            _check_parameter(name)
+            if not values:
+                raise ConfigurationError(f"axis {name!r} needs at least one value")
+        parameters = tuple(materialised)
+        combos = tuple(itertools.product(*(materialised[name] for name in parameters)))
+        return cls(parameters=parameters, point_values=combos)
+
+    @classmethod
+    def from_points(cls, points: Sequence[Mapping[str, object]]) -> "DesignSpace":
+        """An explicit list of points, all over the same parameter set."""
+        if not points:
+            raise ConfigurationError("a design space needs at least one point")
+        parameters = tuple(points[0])
+        for name in parameters:
+            _check_parameter(name)
+        values = []
+        for point in points:
+            if tuple(point) != parameters:
+                raise ConfigurationError(
+                    f"every point must set the same parameters {parameters}, "
+                    f"got {tuple(point)}"
+                )
+            values.append(tuple(point[name] for name in parameters))
+        return cls(parameters=parameters, point_values=tuple(values))
+
+    @classmethod
+    def single_sweep(cls, parameter: str, values: Sequence[object]) -> "DesignSpace":
+        """One-axis grid — the legacy ``sweep_parameter`` shape."""
+        return cls.grid({parameter: values})
+
+    def __len__(self) -> int:
+        return len(self.point_values)
+
+    def points(self) -> list[GridPoint]:
+        """All points, in deterministic grid order."""
+        return [
+            GridPoint(index=i, items=tuple(zip(self.parameters, values)))
+            for i, values in enumerate(self.point_values)
+        ]
+
+    def configs(self, base: ExperimentConfig | None = None) -> list[ExperimentConfig]:
+        """Materialise every point as an :class:`ExperimentConfig`.
+
+        Invalid values (e.g. a static probability outside ``[0, 1]``)
+        surface here, before any evaluation is fanned out.
+        """
+        base_config = base if base is not None else ExperimentConfig()
+        return [point.config(base_config) for point in self.points()]

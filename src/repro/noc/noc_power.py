@@ -27,7 +27,7 @@ from ..interconnect.wire import Wire
 from ..power.idle_time import analyse_minimum_idle_time
 from ..technology.transistor import Polarity, VtFlavor
 from .network import SimulationResult
-from .power_gating import GatingPolicy, evaluate_gating
+from .power_gating import GatingPolicy
 
 __all__ = ["NocPowerConfig", "NetworkPowerReport", "NocPowerModel"]
 

@@ -13,10 +13,8 @@ import pytest
 
 from repro.crossbar import (
     CrossbarConfig,
-    PortDirection,
     SchemeFeatures,
     available_schemes,
-    create_all_schemes,
     create_scheme,
     register_scheme,
 )

@@ -1,0 +1,270 @@
+"""Unit tests for the design-space engine: grid, cache, executors, results."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import ExperimentConfig, paper_experiment
+from repro.analysis import sweep_table
+from repro.analysis.sweep import SweepSeries, crossover_point, crossover_points
+from repro.engine import (
+    DesignSpace,
+    EvaluationCache,
+    Evaluator,
+    ProcessExecutor,
+    SerialExecutor,
+    point_key,
+    resolve_executor,
+)
+from repro.engine.cache import CachedEntry
+from repro.errors import ConfigurationError, ReproError
+
+SCHEMES = ["SC", "SDPC"]
+
+
+@pytest.fixture(scope="module")
+def small_results():
+    """A 2x2 grid evaluated once, shared by the read-only query tests."""
+    space = DesignSpace.grid({
+        "temperature_celsius": [25.0, 110.0],
+        "static_probability": [0.1, 0.9],
+    })
+    return Evaluator(scheme_names=SCHEMES).evaluate(space)
+
+
+class TestDesignSpace:
+    def test_grid_is_row_major_last_axis_fastest(self):
+        space = DesignSpace.grid({"corner": ["SS", "FF"],
+                                  "static_probability": [0.1, 0.9]})
+        assert space.parameters == ("corner", "static_probability")
+        assert [point.overrides for point in space.points()] == [
+            {"corner": "SS", "static_probability": 0.1},
+            {"corner": "SS", "static_probability": 0.9},
+            {"corner": "FF", "static_probability": 0.1},
+            {"corner": "FF", "static_probability": 0.9},
+        ]
+        assert len(space) == 4
+
+    def test_explicit_point_list_preserves_order(self):
+        space = DesignSpace.from_points([
+            {"temperature_celsius": 110.0, "corner": "SS"},
+            {"temperature_celsius": 25.0, "corner": "FF"},
+        ])
+        assert [point.overrides["corner"] for point in space.points()] == ["SS", "FF"]
+
+    def test_rejects_unknown_field(self):
+        with pytest.raises(ConfigurationError, match="sweepable"):
+            DesignSpace.grid({"oxide_thickness": [1.0]})
+
+    def test_rejects_empty_axis_and_empty_grid(self):
+        with pytest.raises(ConfigurationError):
+            DesignSpace.grid({"corner": []})
+        with pytest.raises(ConfigurationError):
+            DesignSpace.grid({})
+        with pytest.raises(ConfigurationError):
+            DesignSpace.from_points([])
+
+    def test_rejects_ragged_point_list(self):
+        with pytest.raises(ConfigurationError, match="same parameters"):
+            DesignSpace.from_points([{"corner": "TT"},
+                                     {"corner": "TT", "static_probability": 0.5}])
+
+    def test_grid_accepts_one_shot_iterables(self):
+        space = DesignSpace.grid({"corner": (c for c in ["TT", "SS"])})
+        assert len(space) == 2
+        assert [p.overrides["corner"] for p in space.points()] == ["TT", "SS"]
+
+    def test_configs_surface_invalid_values_before_evaluation(self):
+        space = DesignSpace.grid({"static_probability": [0.5, 1.5]})
+        with pytest.raises(ConfigurationError):
+            space.configs()
+
+
+class TestCache:
+    def test_key_is_stable_and_content_addressed(self):
+        a = point_key(ExperimentConfig(), SCHEMES)
+        b = point_key(ExperimentConfig(), list(SCHEMES))
+        assert a == b and len(a) == 64
+        assert point_key(ExperimentConfig(temperature_celsius=25.0), SCHEMES) != a
+        assert point_key(ExperimentConfig(), ["SC"]) != a
+        assert point_key(ExperimentConfig(), SCHEMES, baseline_name="SDPC") != a
+
+    def test_hit_and_miss_accounting(self):
+        cache = EvaluationCache()
+        assert cache.get("k") is None
+        cache.put("k", CachedEntry(records=[{"scheme": "SC"}]))
+        assert cache.get("k").records == [{"scheme": "SC"}]
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.puts == 1
+        assert cache.stats.hit_rate == 0.5
+
+    def test_disk_round_trip(self, tmp_path):
+        directory = tmp_path / "cache"
+        writer = EvaluationCache(directory=directory)
+        writer.put("deadbeef", CachedEntry(records=[{"scheme": "SC", "x": 1.25}]))
+        assert (directory / "deadbeef.json").is_file()
+
+        reader = EvaluationCache(directory=directory)
+        entry = reader.get("deadbeef")
+        assert entry is not None
+        assert entry.records == [{"scheme": "SC", "x": 1.25}]
+        assert entry.comparison is None
+        assert reader.stats.disk_hits == 1
+
+    def test_corrupt_disk_entry_is_a_miss(self, tmp_path):
+        directory = tmp_path / "cache"
+        cache = EvaluationCache(directory=directory)
+        (directory / "bad.json").write_text("{not json", encoding="utf-8")
+        assert cache.get("bad") is None
+        assert cache.stats.misses == 1
+
+
+class TestExecutors:
+    def test_resolve_by_name_and_instance(self):
+        assert isinstance(resolve_executor("serial"), SerialExecutor)
+        assert isinstance(resolve_executor("process"), ProcessExecutor)
+        serial = SerialExecutor()
+        assert resolve_executor(serial) is serial
+        with pytest.raises(ConfigurationError):
+            resolve_executor("threads")
+
+    def test_process_parity_with_serial(self):
+        space = DesignSpace.grid({"static_probability": [0.2, 0.8],
+                                  "temperature_celsius": [25.0, 110.0]})
+        serial = Evaluator(scheme_names=SCHEMES, executor="serial").evaluate(space)
+        process = Evaluator(scheme_names=SCHEMES,
+                            executor=ProcessExecutor(max_workers=2)).evaluate(space)
+        assert [p.records for p in process] == [p.records for p in serial]
+        assert process.points[0].comparison is None
+        assert serial.points[0].comparison is not None
+
+    def test_invalid_worker_and_chunk_counts(self):
+        with pytest.raises(ConfigurationError):
+            ProcessExecutor(max_workers=0)
+        with pytest.raises(ConfigurationError):
+            ProcessExecutor(chunksize=0)
+
+
+class TestEvaluator:
+    def test_second_run_hits_cache_on_every_point(self):
+        space = DesignSpace.grid({"static_probability": [0.3, 0.7]})
+        evaluator = Evaluator(scheme_names=SCHEMES)
+        first = evaluator.evaluate(space)
+        assert first.cache_hit_count == 0
+        second = evaluator.evaluate(space)
+        assert second.cache_hit_count == len(space)
+        assert [p.records for p in second] == [p.records for p in first]
+
+    def test_overlapping_grids_share_points(self):
+        evaluator = Evaluator(scheme_names=SCHEMES)
+        evaluator.evaluate(DesignSpace.grid({"static_probability": [0.3, 0.5]}))
+        widened = evaluator.evaluate(
+            DesignSpace.grid({"static_probability": [0.3, 0.5, 0.7]}))
+        assert widened.cache_hit_count == 2
+
+    def test_duplicate_points_in_one_batch_evaluated_once(self):
+        space = DesignSpace.from_points([{"corner": "TT"}, {"corner": "TT"}])
+        evaluator = Evaluator(scheme_names=SCHEMES)
+        results = evaluator.evaluate(space)
+        assert evaluator.cache.stats.puts == 1
+        assert results.points[0].records == results.points[1].records
+
+    def test_disk_cache_survives_new_evaluator(self, tmp_path):
+        space = DesignSpace.grid({"static_probability": [0.4]})
+        first = Evaluator(scheme_names=SCHEMES, cache_dir=tmp_path)
+        first.evaluate(space)
+        second = Evaluator(scheme_names=SCHEMES, cache_dir=tmp_path)
+        results = second.evaluate(space)
+        assert results.cache_hit_count == 1
+        assert second.cache.stats.disk_hits == 1
+
+    def test_baseline_must_be_evaluated(self):
+        with pytest.raises(ConfigurationError):
+            Evaluator(scheme_names=["DFC", "DPC"])
+
+    def test_base_config_is_respected(self):
+        space = DesignSpace.grid({"static_probability": [0.5]})
+        hot = Evaluator(base_config=paper_experiment().with_overrides(
+            temperature_celsius=150.0), scheme_names=SCHEMES).evaluate(space)
+        default = Evaluator(scheme_names=SCHEMES).evaluate(space)
+        assert (hot.points[0].value("SC", "active_leakage_mw")
+                > default.points[0].value("SC", "active_leakage_mw"))
+
+
+class TestResultSet:
+    def test_filter_and_series(self, small_results):
+        sliced = small_results.filter(temperature_celsius=110.0)
+        assert len(sliced) == 2
+        series = sliced.series("SDPC", "total_power_mw", axis="static_probability")
+        assert [value for value, _ in series] == [0.1, 0.9]
+        assert all(power > 0 for _, power in series)
+
+    def test_series_needs_axis_for_multi_parameter_sets(self, small_results):
+        with pytest.raises(ConfigurationError):
+            small_results.series("SC", "total_power_mw")
+
+    def test_unknown_scheme_metric_and_parameter_rejected(self, small_results):
+        with pytest.raises(ConfigurationError):
+            small_results.points[0].value("XYZ", "total_power_mw")
+        with pytest.raises(ConfigurationError):
+            small_results.points[0].value("SC", "bogus_metric")
+        with pytest.raises(ConfigurationError):
+            small_results.filter(corner="TT")
+
+    def test_pareto_front(self, small_results):
+        front = small_results.pareto_front("SC", ["total_power_mw", "high_to_low_ps"])
+        assert front
+        # Every non-front point must be dominated by some front point.
+        for point in small_results:
+            if point in front:
+                continue
+            assert any(
+                other.value("SC", "total_power_mw") <= point.value("SC", "total_power_mw")
+                and other.value("SC", "high_to_low_ps") <= point.value("SC", "high_to_low_ps")
+                for other in front
+            )
+
+    def test_pareto_front_respects_sense(self, small_results):
+        best_saving = max(point.value("SDPC", "active_leakage_saving_percent")
+                          for point in small_results)
+        front = small_results.pareto_front(
+            "SDPC", ["active_leakage_saving_percent"], minimize=[False])
+        assert all(point.value("SDPC", "active_leakage_saving_percent") == best_saving
+                   for point in front)
+
+    def test_to_records_is_json_safe(self, small_results):
+        rows = small_results.to_records()
+        assert len(rows) == len(small_results) * len(SCHEMES)
+        json.dumps(rows)
+
+    def test_sweep_table_requires_singleton_other_axes(self, small_results):
+        with pytest.raises(ConfigurationError, match="filter"):
+            sweep_table(small_results, SCHEMES, "total_power_mw",
+                        axis="static_probability")
+        text = sweep_table(small_results.filter(temperature_celsius=25.0),
+                           SCHEMES, "total_power_mw", axis="static_probability")
+        assert "SDPC" in text and "0.9" in text
+
+
+class TestCrossoverBugfix:
+    def test_multiple_crossings_are_reported_not_swallowed(self):
+        xs = (0.0, 1.0, 2.0, 3.0)
+        wave = SweepSeries("wave", xs, (-1.0, 1.0, -1.0, 1.0))
+        flat = SweepSeries("flat", xs, (0.0, 0.0, 0.0, 0.0))
+        assert crossover_points(wave, flat) == (0.5, 1.5, 2.5)
+        with pytest.raises(ReproError, match="3 times"):
+            crossover_point(wave, flat)
+
+    def test_single_crossing_still_returned(self):
+        a = SweepSeries("a", (0.0, 1.0), (0.0, 2.0))
+        b = SweepSeries("b", (0.0, 1.0), (1.0, 1.0))
+        assert crossover_point(a, b) == pytest.approx(0.5)
+
+    def test_nan_values_rejected(self):
+        with pytest.raises(ReproError, match="NaN"):
+            SweepSeries("bad", (0.0, 1.0), (0.0, float("nan")))
+        with pytest.raises(ReproError, match="NaN"):
+            SweepSeries("bad", (float("nan"), 1.0), (0.0, 1.0))

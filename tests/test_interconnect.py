@@ -5,7 +5,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.errors import CrossbarError, ReproError, TechnologyError
+from repro.errors import CrossbarError, TechnologyError
 from repro.interconnect import (
     Bus,
     NeighbourActivity,
