@@ -1,10 +1,20 @@
 """Throughput benchmarks for the design-space engine.
 
 Measures points/second over a 32-point grid for the serial and process
-executors, verifies the two paths agree bit-for-bit, verifies a re-run
-is served entirely from the cache, and writes the numbers to
-``BENCH_engine.json`` at the repo root so CI can track the perf
-trajectory across PRs.
+executors, verifies the two paths agree bit-for-bit, and verifies a
+re-run is served entirely from the cache.
+
+When ``REPRO_BENCH_GATE=1`` (set by the bench smoke job and
+``scripts/ci_check.sh``, not by plain ``pytest``): the previous
+``BENCH_engine.json`` (committed by the last PR) is the regression
+baseline — the run fails if serial throughput drops below a third of
+it — and the fresh numbers are written back to ``BENCH_engine.json`` so
+CI can track the perf trajectory across PRs.  The 3x margin absorbs
+runner-to-runner noise — hardware differs between the machine that
+committed the baseline and the machine re-running it — while still
+catching a hot path going off a cliff.  Tier-1 runs collect this file
+too, so both the gate and the baseline rewrite stay opt-in: functional
+CI must be machine-speed-independent.
 
 Honesty note: the recorded ``cpu_count`` matters — on a single-core
 container the process executor cannot beat serial (pool start-up is pure
@@ -23,6 +33,26 @@ from repro import DesignSpace, Evaluator, paper_experiment
 
 BENCH_PATH = Path(__file__).resolve().parents[1] / "BENCH_engine.json"
 
+#: Fail the smoke job when serial points/sec falls below baseline/3.
+REGRESSION_FACTOR = 3.0
+
+#: The regression gate and the BENCH_engine.json rewrite only run when
+#: the bench smoke job opts in (ci_check.sh / the CI bench job set this).
+#: Plain `pytest` collects this file too — tier-1 must stay functional
+#: (machine-speed-independent) and must not silently replace the
+#: committed baseline on every developer run.
+GATE_ENABLED = os.environ.get("REPRO_BENCH_GATE") == "1"
+
+
+def _baseline_points_per_second() -> float | None:
+    """Serial throughput recorded by the last committed benchmark run."""
+    try:
+        payload = json.loads(BENCH_PATH.read_text(encoding="utf-8"))
+        value = payload["serial_points_per_second"]
+    except (OSError, json.JSONDecodeError, KeyError, TypeError):
+        return None
+    return float(value) if isinstance(value, (int, float)) else None
+
 SCHEMES = ["SC", "SDPC"]
 GRID = {
     "static_probability": [0.1, 0.2, 0.3, 0.4, 0.6, 0.7, 0.8, 0.9],
@@ -37,7 +67,9 @@ def _timed_evaluate(evaluator: Evaluator, space: DesignSpace):
 
 
 def test_engine_throughput_and_cache(benchmark):
-    """Serial vs process points/sec, executor parity, and 100 % cache re-run."""
+    """Serial vs process points/sec, executor parity, 100 % cache re-run,
+    and the >3x throughput-regression gate against the last record."""
+    baseline_pps = _baseline_points_per_second()
     space = DesignSpace.grid(GRID)
     assert len(space) >= 32
 
@@ -73,9 +105,8 @@ def test_engine_throughput_and_cache(benchmark):
         "process_speedup_vs_serial": serial_s / process_s,
         "cache_speedup_vs_serial": serial_s / cached_s,
         "cache_hit_rate_second_run": cached_results.cache_hit_count / points,
+        "baseline_serial_points_per_second": baseline_pps,
     }
-    BENCH_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
-                          encoding="utf-8")
     print()
     print(f"engine throughput ({points} points, schemes {SCHEMES}, "
           f"{payload['cpu_count']} cpu):")
@@ -84,9 +115,30 @@ def test_engine_throughput_and_cache(benchmark):
           f"({payload['process_speedup_vs_serial']:.2f}x serial)")
     print(f"  cached : {payload['cached_points_per_second']:8.1f} points/s "
           f"({payload['cache_speedup_vs_serial']:.0f}x serial)")
+    if baseline_pps is not None:
+        print(f"  gate   : baseline {baseline_pps:.1f} points/s, "
+              f"fail below {baseline_pps / REGRESSION_FACTOR:.1f}")
 
     # The cache must make the re-run at least an order of magnitude faster.
     assert payload["cache_speedup_vs_serial"] > 10.0
+
+    if not GATE_ENABLED:
+        return
+
+    # Throughput-regression gate (bench smoke job only).  Runs BEFORE the
+    # new record is written: a failing run must leave the old baseline in
+    # place, or one local re-run would measure against the regressed value
+    # and wave it through (the printed numbers document the failing run).
+    if baseline_pps is not None:
+        floor = baseline_pps / REGRESSION_FACTOR
+        assert payload["serial_points_per_second"] >= floor, (
+            f"serial throughput regressed more than {REGRESSION_FACTOR:.0f}x: "
+            f"{payload['serial_points_per_second']:.1f} points/s vs "
+            f"baseline {baseline_pps:.1f} (floor {floor:.1f})"
+        )
+
+    BENCH_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
+                          encoding="utf-8")
 
 
 def test_engine_disk_cache_cold_start(benchmark, tmp_path):

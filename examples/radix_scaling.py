@@ -1,0 +1,78 @@
+"""Radix scaling: how each scheme's standing moves with crossbar size.
+
+The paper fixes a 5x5 crossbar; this example sweeps the *structure* —
+``crossbar.port_count`` crossed with the technology node — straight
+through the engine's nested config paths, then prints, for every point,
+which scheme draws the least total power and which saves the most active
+leakage against the SC baseline.
+
+Run with ``python examples/radix_scaling.py``.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro import Evaluator, paper_experiment  # noqa: E402
+from repro.analysis import render_table, sweep_table  # noqa: E402
+
+SCHEMES = ["SC", "DFC", "DPC", "SDFC", "SDPC"]
+PORT_COUNTS = [3, 5, 8]
+NODES = ["65nm", "45nm"]
+
+
+def main() -> None:
+    evaluator = Evaluator(base_config=paper_experiment(), scheme_names=SCHEMES)
+    start = time.perf_counter()
+    results = evaluator.evaluate_grid({
+        "crossbar.port_count": PORT_COUNTS,
+        "technology_node": NODES,
+    })
+    elapsed = time.perf_counter() - start
+    print(f"evaluated {len(results)} structural points x {len(SCHEMES)} schemes "
+          f"in {elapsed:.2f} s")
+    print()
+
+    rows = []
+    for point in results:
+        ports = point.overrides["crossbar.port_count"]
+        node = point.overrides["technology_node"]
+        lowest_power = min(SCHEMES, key=lambda s: point.value(s, "total_power_mw"))
+        best_saving = max(
+            (s for s in SCHEMES if s != "SC"),
+            key=lambda s: point.value(s, "active_leakage_saving_percent"),
+        )
+        rows.append([
+            f"{ports}x{ports}",
+            node,
+            lowest_power,
+            point.value(lowest_power, "total_power_mw"),
+            best_saving,
+            point.value(best_saving, "active_leakage_saving_percent"),
+        ])
+    print(render_table(
+        ["crossbar", "node", "lowest power", "mW", "best saving", "% vs SC"],
+        rows, title="Which scheme wins where"))
+    print()
+
+    for node in NODES:
+        print(sweep_table(
+            results.filter(technology_node=node), SCHEMES,
+            "active_leakage_saving_percent", axis="crossbar.port_count",
+            title=f"Active leakage saving (%) vs port count at {node}"))
+        print()
+
+    # The savings trend with radix, one line per scheme.
+    at_45 = results.filter(technology_node="45nm")
+    print("SDPC active-leakage saving vs radix at 45nm:")
+    for ports, saving in at_45.series("SDPC", "active_leakage_saving_percent",
+                                      axis="crossbar.port_count"):
+        print(f"  {ports}x{ports}: {saving:.1f} %")
+
+
+if __name__ == "__main__":
+    main()

@@ -19,10 +19,13 @@ fi
 echo "==> Tier-1 tests"
 PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m pytest -x -q
 
-echo "==> Engine benchmark smoke (writes BENCH_engine.json)"
-PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m pytest benchmarks -q -k "engine" --benchmark-disable-gc
+echo "==> Engine benchmark smoke (regression-gated against last BENCH_engine.json)"
+REPRO_BENCH_GATE=1 PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m pytest benchmarks -q -k "engine" --benchmark-disable-gc
 
 echo "==> BENCH_engine.json"
 cat BENCH_engine.json
+
+echo "==> Example smoke: radix scaling (nested crossbar.port_count axes)"
+python examples/radix_scaling.py > /dev/null
 
 echo "==> CI gate passed"

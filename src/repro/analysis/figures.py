@@ -105,7 +105,9 @@ def sweep_table(results: "ResultSet", schemes: Sequence[str], metric: str,
 
     The result set must vary only ``axis``: a multi-parameter set must be
     sliced with :meth:`~repro.engine.ResultSet.filter` first, so every
-    column of the table is one well-defined design point.
+    column of the table is one well-defined design point.  ``axis``
+    accepts any spelling the result set resolves — dotted config paths
+    (``"crossbar.port_count"``) included.
     """
     if not schemes:
         raise ConfigurationError("sweep_table needs at least one scheme")
@@ -116,6 +118,7 @@ def sweep_table(results: "ResultSet", schemes: Sequence[str], metric: str,
                 f"varies {results.parameters}"
             )
         axis = results.parameters[0]
+    axis = results.resolve_parameter(axis)
     for other in results.parameters:
         if other == axis:
             continue

@@ -6,17 +6,37 @@ probability, worst-case random data — plus the modelling temperature and
 corner.  :class:`ExperimentConfig` bundles them so every benchmark,
 example and test refers to a single source of truth, and alternative
 points (other nodes, corners, crossbar radixes) are one ``replace`` away.
+
+The configuration is a tree: the crossbar's structural/sizing knobs live
+in the nested :class:`~repro.crossbar.ports.CrossbarConfig`, and the
+optional ``noc`` branch carries the network-level power parameters
+(:class:`~repro.noc.noc_power.NocPowerConfig`).  Any leaf of the tree
+can be addressed with a dotted path — ``with_overrides`` accepts
+``**{"crossbar.port_count": 8}`` alongside the flat top-level fields,
+via :mod:`repro.core.paths`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field, fields, replace
+from typing import TYPE_CHECKING
 
 from ..crossbar.ports import CrossbarConfig
 from ..errors import ConfigurationError
 from ..technology.library import TechnologyLibrary, default_library_for_node
 
-__all__ = ["ExperimentConfig", "paper_experiment"]
+if TYPE_CHECKING:  # pragma: no cover - type-only import, avoids a cycle
+    from ..noc.noc_power import NocPowerConfig
+
+__all__ = ["ExperimentConfig", "paper_experiment", "default_noc_config"]
+
+
+def default_noc_config() -> "NocPowerConfig":
+    """Default network power parameters (imported lazily: the ``noc``
+    package must not be a hard import of the core config layer)."""
+    from ..noc.noc_power import NocPowerConfig
+
+    return NocPowerConfig()
 
 
 @dataclass(frozen=True)
@@ -30,6 +50,11 @@ class ExperimentConfig:
     static_probability: float = 0.5
     toggle_activity: float = 0.5
     crossbar: CrossbarConfig = field(default_factory=CrossbarConfig)
+    #: Optional network-level power parameters.  ``None`` means "the
+    #: defaults"; sweeping any ``noc.*`` path materialises the branch.
+    noc: "NocPowerConfig | None" = field(
+        default=None, metadata={"subconfig_factory": default_noc_config}
+    )
 
     def __post_init__(self) -> None:
         if self.clock_frequency <= 0:
@@ -49,8 +74,40 @@ class ExperimentConfig:
         )
 
     def with_overrides(self, **overrides) -> "ExperimentConfig":
-        """Return a copy with the given fields replaced."""
-        return replace(self, **overrides)
+        """Return a copy with the given fields replaced.
+
+        Keys may be direct fields (``temperature_celsius=25.0``,
+        ``crossbar=CrossbarConfig(...)``), dotted paths into the nested
+        configs (``**{"crossbar.port_count": 8}``), or any alias
+        :func:`~repro.core.paths.normalize_path` accepts.  Direct field
+        replacements apply first, then dotted paths in the order given,
+        so ``crossbar=...`` composes with ``crossbar.port_count=...``.
+        """
+        from .paths import normalize_path, set_path
+
+        field_names = {f.name for f in fields(self)}
+        direct: dict[str, object] = {}
+        nested: dict[str, object] = {}
+        for name, value in overrides.items():
+            if name in field_names:
+                direct[name] = value
+                continue
+            try:
+                path = normalize_path(name)
+            except ConfigurationError as exc:
+                raise ConfigurationError(
+                    f"unknown override {name!r}: not an ExperimentConfig "
+                    f"field, and {exc}"
+                ) from exc
+            if path in nested:
+                raise ConfigurationError(
+                    f"override {name!r} duplicates config path {path!r}"
+                )
+            nested[path] = value
+        config = replace(self, **direct) if direct else self
+        for path, value in nested.items():
+            config = set_path(config, path, value)
+        return config
 
 
 def paper_experiment() -> ExperimentConfig:

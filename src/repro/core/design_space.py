@@ -69,9 +69,12 @@ def sweep_parameter(
 
     Thin wrapper over :class:`repro.engine.Evaluator` with the serial
     executor, so every point carries its live
-    :class:`~repro.core.comparison.SchemeComparison`.
+    :class:`~repro.core.comparison.SchemeComparison`.  ``parameter`` may
+    be a flat field, a dotted config path (``"crossbar.port_count"``) or
+    an unambiguous alias; the result reports the name as given.
     """
     space = _DesignSpace.single_sweep(parameter, values)
+    canonical = space.parameters[0]
     evaluator = Evaluator(base_config=base_config, scheme_names=scheme_names,
                           executor="serial")
     results = evaluator.evaluate(space)
@@ -79,6 +82,6 @@ def sweep_parameter(
     for point in results:
         assert point.comparison is not None  # serial executor keeps comparisons
         result.points.append(SweepPoint(parameter=parameter,
-                                        value=point.overrides[parameter],
+                                        value=point.overrides[canonical],
                                         comparison=point.comparison))
     return result

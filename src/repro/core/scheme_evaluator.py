@@ -4,20 +4,124 @@ Combines an :class:`~repro.core.config.ExperimentConfig` with a scheme
 name and produces the full :class:`~repro.power.savings.SchemeEvaluation`
 plus the structural inventory — everything the comparison engine,
 benchmarks and examples consume.
+
+Structural memoisation
+----------------------
+Building a :class:`~repro.crossbar.base.CrossbarScheme` resolves wire
+geometry, device sizing and the technology library — none of which
+depend on the activity scalars (``static_probability``,
+``toggle_activity``).  A process-wide bounded cache therefore shares
+libraries keyed by their technology point and built schemes keyed by
+(library, crossbar config, scheme name), so a design-space sweep that
+varies only non-structural scalars builds each scheme's geometry once
+instead of once per point.  Schemes are analytically pure (every
+activity-dependent method takes the scalars as arguments), which is what
+makes the sharing sound.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 
 from ..circuit.netlist import NetlistStatistics
 from ..crossbar.base import CrossbarScheme
 from ..crossbar.factory import create_scheme
+from ..crossbar.ports import CrossbarConfig
 from ..power.savings import SchemeEvaluation, evaluate_scheme
 from ..technology.library import TechnologyLibrary
 from .config import ExperimentConfig
 
-__all__ = ["SchemeResult", "SchemeEvaluator"]
+__all__ = ["SchemeResult", "SchemeEvaluator", "StructuralCacheStats",
+           "structural_cache_stats", "clear_structural_cache"]
+
+
+@dataclass(frozen=True)
+class _LibraryKey:
+    """The experiment scalars a technology library depends on."""
+
+    technology_node: str
+    temperature_celsius: float
+    corner: str
+    clock_frequency: float
+
+    @classmethod
+    def of(cls, config: ExperimentConfig) -> "_LibraryKey":
+        return cls(
+            technology_node=config.technology_node,
+            temperature_celsius=config.temperature_celsius,
+            corner=config.corner,
+            clock_frequency=config.clock_frequency,
+        )
+
+
+@dataclass
+class StructuralCacheStats:
+    """Hit/miss accounting for the process-wide structural cache."""
+
+    library_hits: int = 0
+    library_misses: int = 0
+    scheme_hits: int = 0
+    scheme_misses: int = 0
+
+
+class _StructuralCache:
+    """Bounded LRU store of built libraries and schemes."""
+
+    def __init__(self, max_libraries: int = 32, max_schemes: int = 256) -> None:
+        self.max_libraries = max_libraries
+        self.max_schemes = max_schemes
+        self.stats = StructuralCacheStats()
+        self._libraries: OrderedDict[_LibraryKey, TechnologyLibrary] = OrderedDict()
+        self._schemes: OrderedDict[tuple[_LibraryKey, CrossbarConfig, str],
+                                   CrossbarScheme] = OrderedDict()
+
+    def library_for(self, config: ExperimentConfig) -> TechnologyLibrary:
+        key = _LibraryKey.of(config)
+        library = self._libraries.get(key)
+        if library is not None:
+            self._libraries.move_to_end(key)
+            self.stats.library_hits += 1
+            return library
+        self.stats.library_misses += 1
+        library = config.build_library()
+        self._libraries[key] = library
+        while len(self._libraries) > self.max_libraries:
+            self._libraries.popitem(last=False)
+        return library
+
+    def scheme_for(self, library_key: _LibraryKey, library: TechnologyLibrary,
+                   crossbar: CrossbarConfig, name: str) -> CrossbarScheme:
+        key = (library_key, crossbar, name)
+        scheme = self._schemes.get(key)
+        if scheme is not None and scheme.library is library:
+            self._schemes.move_to_end(key)
+            self.stats.scheme_hits += 1
+            return scheme
+        self.stats.scheme_misses += 1
+        scheme = create_scheme(name, library, crossbar)
+        self._schemes[key] = scheme
+        while len(self._schemes) > self.max_schemes:
+            self._schemes.popitem(last=False)
+        return scheme
+
+    def clear(self) -> None:
+        self._libraries.clear()
+        self._schemes.clear()
+        self.stats = StructuralCacheStats()
+
+
+_STRUCTURAL_CACHE = _StructuralCache()
+
+
+def structural_cache_stats() -> StructuralCacheStats:
+    """Counters of the process-wide library/scheme structural cache."""
+    return _STRUCTURAL_CACHE.stats
+
+
+def clear_structural_cache() -> None:
+    """Drop all memoised libraries and schemes (mainly for tests)."""
+    _STRUCTURAL_CACHE.clear()
 
 
 @dataclass(frozen=True)
@@ -37,19 +141,31 @@ class SchemeResult:
 class SchemeEvaluator:
     """Evaluates schemes under one experiment configuration.
 
-    The evaluator caches the technology library (building it is cheap but
-    the object is shared by every scheme so identity matters for
-    comparisons) and instantiates schemes on demand.
+    The technology library and built schemes come from the process-wide
+    structural cache (the library object is shared by every scheme, so
+    identity matters for comparisons); activity-dependent analysis runs
+    per call.  Pass ``library`` explicitly to bypass the cache, e.g. for
+    a hand-modified library.
     """
 
     def __init__(self, config: ExperimentConfig | None = None,
                  library: TechnologyLibrary | None = None) -> None:
         self.config = config if config is not None else ExperimentConfig()
-        self.library = library if library is not None else self.config.build_library()
+        if library is not None:
+            self.library = library
+            self._library_key = None
+        else:
+            self.library = _STRUCTURAL_CACHE.library_for(self.config)
+            self._library_key = _LibraryKey.of(self.config)
 
     def build_scheme(self, name: str) -> CrossbarScheme:
-        """Instantiate a crossbar scheme under this experiment's configuration."""
-        return create_scheme(name, self.library, self.config.crossbar)
+        """Instantiate (or reuse) a crossbar scheme under this experiment's
+        configuration."""
+        if self._library_key is None:
+            return create_scheme(name, self.library, self.config.crossbar)
+        return _STRUCTURAL_CACHE.scheme_for(
+            self._library_key, self.library, self.config.crossbar, name
+        )
 
     def evaluate(self, name: str) -> SchemeResult:
         """Fully evaluate one scheme."""

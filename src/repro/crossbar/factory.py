@@ -60,6 +60,12 @@ def register_scheme(name: str, factory: SchemeFactory, overwrite: bool = False) 
     if key in _REGISTRY and not overwrite:
         raise CrossbarError(f"scheme {name!r} is already registered (pass overwrite=True to replace)")
     _REGISTRY[key] = factory
+    # A replaced factory invalidates any structurally memoised schemes
+    # built under the old one (lazy import: the evaluator imports us).
+    if overwrite:
+        from ..core.scheme_evaluator import clear_structural_cache
+
+        clear_structural_cache()
 
 
 def create_scheme(name: str, library: TechnologyLibrary,

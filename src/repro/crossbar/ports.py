@@ -63,6 +63,9 @@ class CrossbarConfig:
 
     port_count: int = 5
     flit_width: int = 128
+    #: Router input buffer depth (flits); consumed by the network-level
+    #: power roll-up, carried here so it is part of the structural point.
+    input_buffer_depth: int = 4
     allow_self_connection: bool = False
     wire_layer: str = "intermediate"
     layout_overhead: float = 1.0
@@ -88,14 +91,26 @@ class CrossbarConfig:
     timing_budget_fraction: float = 0.25
 
     def __post_init__(self) -> None:
+        # Error messages name fields by their config path (the mount
+        # point in ExperimentConfig), so engine users sweeping e.g.
+        # "crossbar.port_count" see the axis they actually set.
         if self.port_count < 2:
-            raise CrossbarError(f"a crossbar needs at least 2 ports, got {self.port_count}")
+            raise CrossbarError(
+                f"crossbar.port_count: a crossbar needs at least 2 ports, got {self.port_count}"
+            )
         if self.flit_width < 1:
-            raise CrossbarError(f"flit width must be at least 1 bit, got {self.flit_width}")
+            raise CrossbarError(
+                f"crossbar.flit_width must be at least 1 bit, got {self.flit_width}"
+            )
+        if self.input_buffer_depth < 1:
+            raise CrossbarError(
+                f"crossbar.input_buffer_depth must be at least 1 flit, "
+                f"got {self.input_buffer_depth}"
+            )
         if self.layout_overhead < 1.0:
-            raise CrossbarError("layout overhead must be >= 1")
+            raise CrossbarError("crossbar.layout_overhead must be >= 1")
         if not 0.0 < self.timing_budget_fraction <= 1.0:
-            raise CrossbarError("timing budget fraction must be in (0, 1]")
+            raise CrossbarError("crossbar.timing_budget_fraction must be in (0, 1]")
         for name in (
             "input_driver_nmos_width",
             "input_driver_pmos_width",
@@ -110,13 +125,13 @@ class CrossbarConfig:
             "driver2_pmos_width",
         ):
             if getattr(self, name) <= 0:
-                raise CrossbarError(f"{name} must be positive")
+                raise CrossbarError(f"crossbar.{name} must be positive")
         for name in ("input_wire_length", "row_wire_length", "output_wire_length"):
             value = getattr(self, name)
             if value is not None and value <= 0:
-                raise CrossbarError(f"{name} must be positive when given")
+                raise CrossbarError(f"crossbar.{name} must be positive when given")
         if self.receiver_capacitance is not None and self.receiver_capacitance < 0:
-            raise CrossbarError("receiver capacitance cannot be negative")
+            raise CrossbarError("crossbar.receiver_capacitance cannot be negative")
 
     # -- derived structure ---------------------------------------------------------
     @property

@@ -7,20 +7,29 @@ evaluated point behind a content-addressed cache
 process pool (:mod:`repro.engine.executor`), and returns a queryable
 :class:`ResultSet` (filtering, series extraction, Pareto fronts).
 
+Axes are config paths: the flat ``ExperimentConfig`` scalars, dotted
+paths into the nested structure (``"crossbar.port_count"``,
+``"crossbar.flit_width"``), or unambiguous leaf aliases
+(``"port_count"``) — see :mod:`repro.core.paths`.  Paths marked
+``[network-level]`` in :func:`sweepable_paths` vary the config point for
+:class:`~repro.noc.noc_power.NocPowerModel` consumers but not the
+Table-1 records the evaluator caches.
+
 Quickstart::
 
     from repro.engine import DesignSpace, Evaluator
 
     space = DesignSpace.grid({
-        "temperature_celsius": [25.0, 70.0, 110.0],
+        "crossbar.port_count": [3, 5, 8],
         "static_probability": [0.1, 0.5, 0.9],
     })
     results = Evaluator(executor="auto").evaluate(space)
-    for value, power in results.filter(temperature_celsius=110.0).series(
-            "SDPC", "total_power_mw", axis="static_probability"):
+    for value, power in results.filter(static_probability=0.5).series(
+            "SDPC", "total_power_mw", axis="crossbar.port_count"):
         print(value, power)
 """
 
+from ..core.paths import describe_path, get_path, normalize_path, set_path, sweepable_paths
 from .cache import CacheStats, CachedEntry, EvaluationCache, point_key
 from .evaluator import Evaluator
 from .executor import ProcessExecutor, SerialExecutor, resolve_executor
@@ -39,6 +48,11 @@ __all__ = [
     "ResultSet",
     "SWEEPABLE_FIELDS",
     "SerialExecutor",
+    "describe_path",
+    "get_path",
+    "normalize_path",
     "point_key",
     "resolve_executor",
+    "set_path",
+    "sweepable_paths",
 ]

@@ -1,13 +1,31 @@
 """Content-addressed cache for design-point evaluations.
 
 Every evaluation is keyed by a canonical hash of the full
-:class:`~repro.core.config.ExperimentConfig`, the evaluated scheme set,
-the baseline, and the model version — so two points that happen to
-coincide (overlapping sweeps, benchmark re-runs, a grid revisited with a
-wider axis) are evaluated once.  The cache is in-memory by default and
-optionally persists the JSON-safe comparison records to a directory,
-one file per key, so a later process pays nothing for points it has
-already seen.
+:class:`~repro.core.config.ExperimentConfig` (including the nested
+crossbar and optional noc sub-configs), the evaluated scheme set, the
+baseline, and the model version — so two points that happen to coincide
+(overlapping sweeps, benchmark re-runs, a grid revisited with a wider
+axis) are evaluated once.  The cache is in-memory by default and
+optionally persists the JSON-safe comparison records to a directory.
+
+Disk layout
+-----------
+Entries are sharded into 256 two-hex-char prefix directories
+(``<dir>/ab/<key>.json``) so million-point spaces never degrade on a
+single directory scan, with an ``index.json`` recording every entry's
+location, size and last-use sequence number.  Keys that are not
+filesystem-safe content hashes (anything beyond lowercase hex — in
+particular keys containing path separators) are stored under the SHA-256
+of the key instead of the key itself, so a hostile or merely unusual key
+can never escape the cache directory.  The flat one-file-per-key layout
+written by earlier versions is migrated into the shards on first open.
+
+When ``max_disk_entries`` is set, an entry-count-bounded eviction pass
+drops the least-recently-used entries after each write (the index also
+records each entry's byte size, the hook for a future byte-budget
+bound); :meth:`EvaluationCache.compact` re-scans the shards, drops
+corrupt or orphaned files, rebuilds the index and enforces the bound in
+one sweep.
 """
 
 from __future__ import annotations
@@ -16,18 +34,56 @@ import dataclasses
 import hashlib
 import json
 import os
+import re
 from collections.abc import Sequence
 from dataclasses import dataclass, field
 from pathlib import Path
 
 from ..core.comparison import SchemeComparison
 from ..core.config import ExperimentConfig
+from ..errors import ConfigurationError
 
-__all__ = ["CACHE_SCHEMA_VERSION", "point_key", "CacheStats", "CachedEntry",
-           "EvaluationCache"]
+__all__ = ["CACHE_SCHEMA_VERSION", "config_payload", "point_key", "CacheStats",
+           "CachedEntry", "EvaluationCache"]
 
 #: Bump when the cached record layout changes; invalidates old disk entries.
 CACHE_SCHEMA_VERSION = 1
+
+#: Name of the shard index file inside a cache directory.
+INDEX_FILENAME = "index.json"
+
+#: ``put`` rewrites the index at most once per this many entries; call
+#: :meth:`EvaluationCache.flush_index` at batch boundaries for the rest.
+INDEX_WRITE_INTERVAL = 64
+
+#: Keys matching this are content hashes, safe to use as file names and
+#: sharded by their own first two characters.
+_HEX_KEY = re.compile(r"[0-9a-f]{8,128}")
+
+#: Fields added to the config tree after PR 1, with the default values
+#: under which they are omitted from the canonical key payload.  This
+#: keeps keys (and therefore existing disk caches) byte-identical for
+#: every point that does not use the new structure.
+_ROOT_EXTENSION_DEFAULTS: dict[str, object] = {"noc": None}
+_CROSSBAR_EXTENSION_DEFAULTS: dict[str, object] = {"input_buffer_depth": 4}
+
+
+def config_payload(config: ExperimentConfig) -> dict:
+    """JSON-safe nested dict of ``config`` for canonical hashing.
+
+    Post-PR-1 extension fields are omitted while they hold their
+    defaults, so flat-only points keep the keys they have always had.
+    """
+    payload = dataclasses.asdict(config)
+    for name, default in _ROOT_EXTENSION_DEFAULTS.items():
+        if payload.get(name) == default:
+            payload.pop(name, None)
+    crossbar = payload.get("crossbar")
+    if isinstance(crossbar, dict):
+        for name, default in _CROSSBAR_EXTENSION_DEFAULTS.items():
+            if crossbar.get(name) == default:
+                crossbar.pop(name, None)
+    return payload
 
 
 def point_key(config: ExperimentConfig, scheme_names: Sequence[str],
@@ -35,16 +91,16 @@ def point_key(config: ExperimentConfig, scheme_names: Sequence[str],
     """Canonical content hash of one evaluation point.
 
     The key covers everything the result depends on: the experiment
-    configuration (including the nested crossbar sizing), the scheme
-    list *in order* (record order follows it), the baseline, the model
-    version and the cache schema version.
+    configuration (including the nested crossbar sizing and, when set,
+    the noc branch), the scheme list *in order* (record order follows
+    it), the baseline, the model version and the cache schema version.
     """
     from .. import __version__
 
     payload = {
         "schema": CACHE_SCHEMA_VERSION,
         "model_version": __version__,
-        "config": dataclasses.asdict(config),
+        "config": config_payload(config),
         "schemes": list(scheme_names),
         "baseline": baseline_name,
     }
@@ -60,6 +116,7 @@ class CacheStats:
     misses: int = 0
     disk_hits: int = 0
     puts: int = 0
+    evictions: int = 0
 
     @property
     def lookups(self) -> int:
@@ -82,25 +139,187 @@ class CachedEntry:
     comparison: SchemeComparison | None = None
 
 
+def _shard_and_name(key: str) -> tuple[str, str]:
+    """(shard directory, file stem) for one key.
+
+    Content-hash keys shard by their own two-hex-char prefix; any other
+    key — too short, mixed case, or containing path separators — is
+    replaced by its SHA-256, which both sanitises the file name and
+    gives it a uniform shard.
+    """
+    if _HEX_KEY.fullmatch(key):
+        return key[:2], key
+    digest = hashlib.sha256(key.encode("utf-8")).hexdigest()
+    return digest[:2], digest
+
+
+#: File stems that are safe to look up in the legacy flat layout.
+_LEGACY_SAFE = re.compile(r"[A-Za-z0-9_-]{1,200}")
+
+
 @dataclass
 class EvaluationCache:
-    """In-memory, optionally disk-backed store of evaluated points."""
+    """In-memory, optionally disk-backed store of evaluated points.
+
+    ``max_disk_entries`` bounds the sharded store; ``None`` means
+    unbounded.  The bound is enforced LRU-wise, after each write, over
+    the entries the index knows about: files left by a session that
+    crashed before flushing its index batch are adopted when a lookup
+    touches them, and :meth:`compact` reconciles everything on disk.
+    """
 
     directory: Path | None = None
+    max_disk_entries: int | None = None
     stats: CacheStats = field(default_factory=CacheStats)
 
     def __post_init__(self) -> None:
+        if self.max_disk_entries is not None and self.max_disk_entries < 1:
+            raise ConfigurationError("max_disk_entries must be at least 1")
+        self._memory: dict[str, CachedEntry] = {}
+        self._index: dict[str, dict] = {}
+        self._sequence = 0
+        self._index_dirty = False
+        self._puts_since_index_write = 0
+        self._legacy_possible = False
         if self.directory is not None:
             self.directory = Path(self.directory)
             self.directory.mkdir(parents=True, exist_ok=True)
-        self._memory: dict[str, CachedEntry] = {}
+            self._load_index()
+            self._migrate_flat_layout()
 
     def __len__(self) -> int:
         return len(self._memory)
 
-    def _disk_path(self, key: str) -> Path:
+    # -- disk layout -------------------------------------------------------------
+    @property
+    def _index_path(self) -> Path:
         assert self.directory is not None
+        return self.directory / INDEX_FILENAME
+
+    def _disk_path(self, key: str) -> Path:
+        """Sharded, sanitised location of one key's entry file."""
+        assert self.directory is not None
+        shard, name = _shard_and_name(key)
+        return self.directory / shard / f"{name}.json"
+
+    def _legacy_path(self, key: str) -> Path | None:
+        """Pre-shard flat location, only for keys that cannot traverse."""
+        assert self.directory is not None
+        if not _LEGACY_SAFE.fullmatch(key):
+            return None
         return self.directory / f"{key}.json"
+
+    @staticmethod
+    def _sane_index_file(name: str) -> bool:
+        """True when an on-disk index 'file' value stays inside the cache
+        directory: relative, no parent traversal, no absolute override
+        (``dir / "/abs"`` discards ``dir`` entirely)."""
+        path = Path(name)
+        return not path.is_absolute() and ".." not in path.parts
+
+    def _load_index(self) -> None:
+        """Best-effort load: the index is untrusted — malformed entries
+        are dropped and a corrupt file is simply ignored (``get`` probes
+        the canonical shard path anyway, and :meth:`compact` rebuilds)."""
+        try:
+            payload = json.loads(self._index_path.read_text(encoding="utf-8"))
+            entries = payload["entries"]
+        except (OSError, json.JSONDecodeError, KeyError, TypeError):
+            return
+        if not isinstance(entries, dict):
+            return
+        loaded: dict[str, dict] = {}
+        for key, meta in entries.items():
+            if not (isinstance(meta, dict) and isinstance(meta.get("file"), str)):
+                continue
+            if not self._sane_index_file(meta["file"]):
+                continue
+            seq = meta.get("seq", 0)
+            size = meta.get("size", 0)
+            loaded[key] = {
+                "file": meta["file"],
+                "size": size if isinstance(size, int) else 0,
+                "seq": seq if isinstance(seq, int) else 0,
+            }
+        # The in-memory index is kept in recency order (oldest first) so
+        # eviction is O(1); restore that invariant from the stored seqs.
+        self._index = dict(sorted(loaded.items(), key=lambda kv: kv[1]["seq"]))
+        self._sequence = max(
+            (meta["seq"] for meta in self._index.values()), default=0
+        )
+
+    def _write_index(self) -> None:
+        assert self.directory is not None
+        payload = {"schema": CACHE_SCHEMA_VERSION, "entries": self._index}
+        tmp = self._index_path.with_suffix(".json.tmp")
+        tmp.write_text(json.dumps(payload, sort_keys=True), encoding="utf-8")
+        os.replace(tmp, self._index_path)
+        self._index_dirty = False
+        self._puts_since_index_write = 0
+
+    def flush_index(self) -> None:
+        """Persist the index if it has unwritten changes.
+
+        ``put`` batches index writes (every ``INDEX_WRITE_INTERVAL``
+        entries) so a cold N-point sweep stays O(N) in index I/O; batch
+        owners — the evaluator, or anything driving many puts — call
+        this once at the end.  A stale index is never a correctness
+        problem (``get`` probes the canonical shard path regardless), it
+        only costs the probe."""
+        if self.directory is not None and self._index_dirty:
+            self._write_index()
+
+    def _migrate_flat_layout(self) -> None:
+        """Move flat ``<key>.json`` files written by the PR-1 layout into
+        their shard directories, indexing them as they go."""
+        assert self.directory is not None
+        moved = False
+        for flat in self.directory.glob("*.json"):
+            if flat.name == INDEX_FILENAME or not flat.is_file():
+                continue
+            key = flat.stem
+            target = self._disk_path(key)
+            target.parent.mkdir(parents=True, exist_ok=True)
+            try:
+                os.replace(flat, target)
+            except OSError:
+                # Couldn't move it: lookups must keep probing flat paths.
+                self._legacy_possible = True
+                continue
+            self._remember_entry(key, target)
+            moved = True
+        if moved:
+            self._write_index()
+
+    def _remember_entry(self, key: str, path: Path) -> None:
+        assert self.directory is not None
+        self._sequence += 1
+        try:
+            size = path.stat().st_size
+        except OSError:
+            size = 0
+        # Pop-then-insert keeps the index dict in recency order.
+        self._index.pop(key, None)
+        self._index[key] = {
+            "file": path.relative_to(self.directory).as_posix(),
+            "size": size,
+            "seq": self._sequence,
+        }
+
+    # -- lookups -----------------------------------------------------------------
+    def _read_records(self, path: Path, key: str) -> list[dict] | None:
+        """Records stored at ``path``, or ``None`` when the file is
+        corrupt or holds a *different* key — a misdirected (or hostile)
+        index entry must never alias one design point to another."""
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+            records = payload["records"]
+            stored_key = payload["key"]
+        except (OSError, json.JSONDecodeError, KeyError, TypeError):
+            return None
+        if stored_key != key or not isinstance(records, list):
+            return None
+        return records
 
     def get(self, key: str) -> CachedEntry | None:
         """Look up one key; counts a hit or a miss."""
@@ -109,21 +328,43 @@ class EvaluationCache:
             self.stats.hits += 1
             return entry
         if self.directory is not None:
-            path = self._disk_path(key)
-            if path.is_file():
-                try:
-                    payload = json.loads(path.read_text(encoding="utf-8"))
-                    records = payload["records"]
-                except (json.JSONDecodeError, KeyError, TypeError):
-                    records = None  # corrupt entry: treat as a miss
-                if isinstance(records, list):
-                    entry = CachedEntry(records=records)
-                    self._memory[key] = entry
-                    self.stats.hits += 1
-                    self.stats.disk_hits += 1
-                    return entry
+            for path in self._candidate_paths(key):
+                if path is None or not path.is_file():
+                    continue
+                records = self._read_records(path, key)
+                if records is None:
+                    continue  # corrupt or mismatched entry: treat as a miss
+                entry = CachedEntry(records=records)
+                self._memory[key] = entry
+                meta = self._index.pop(key, None)
+                if meta is not None:  # move to the recent end of the index
+                    self._sequence += 1
+                    meta["seq"] = self._sequence
+                    self._index[key] = meta
+                    self._index_dirty = True  # persist recency at next flush
+                elif path == self._disk_path(key):
+                    # Found via the canonical shard probe but unknown to
+                    # the index (written by a crashed/unflushed session):
+                    # adopt it so the size bound can see and evict it.
+                    self._remember_entry(key, path)
+                    self._index_dirty = True
+                self.stats.hits += 1
+                self.stats.disk_hits += 1
+                return entry
         self.stats.misses += 1
         return None
+
+    def _candidate_paths(self, key: str):
+        """Where a key's entry may live, most authoritative first."""
+        assert self.directory is not None
+        meta = self._index.get(key)
+        if meta is not None and self._sane_index_file(meta["file"]):
+            yield self.directory / meta["file"]
+        yield self._disk_path(key)
+        if self._legacy_possible:
+            # Only when migration left flat files behind — otherwise this
+            # would be a wasted stat() on every miss of a big sweep.
+            yield self._legacy_path(key)
 
     def put(self, key: str, entry: CachedEntry) -> None:
         """Store one evaluated point (records go to disk when enabled)."""
@@ -131,6 +372,7 @@ class EvaluationCache:
         self.stats.puts += 1
         if self.directory is not None:
             path = self._disk_path(key)
+            path.parent.mkdir(parents=True, exist_ok=True)
             payload = {
                 "schema": CACHE_SCHEMA_VERSION,
                 "key": key,
@@ -139,6 +381,74 @@ class EvaluationCache:
             tmp = path.with_suffix(".json.tmp")
             tmp.write_text(json.dumps(payload, sort_keys=True), encoding="utf-8")
             os.replace(tmp, path)
+            self._remember_entry(key, path)
+            self._evict_to_bound()
+            self._index_dirty = True
+            self._puts_since_index_write += 1
+            if self._puts_since_index_write >= INDEX_WRITE_INTERVAL:
+                self._write_index()
+
+    # -- maintenance -------------------------------------------------------------
+    def _evict_to_bound(self) -> None:
+        """Drop least-recently-used disk entries beyond ``max_disk_entries``.
+
+        The index dict is maintained in recency order (oldest first), so
+        each eviction is O(1) — a bounded million-point sweep never pays
+        a per-put scan."""
+        if self.max_disk_entries is None or self.directory is None:
+            return
+        while len(self._index) > self.max_disk_entries:
+            victim = next(iter(self._index))
+            self._index.pop(victim)
+            self.stats.evictions += 1
+            # Unlink the victim's *canonical* location, never the index's
+            # stored path: a corrupt/hostile index entry could otherwise
+            # aim eviction at index.json or another key's valid file.
+            try:
+                self._disk_path(victim).unlink(missing_ok=True)
+            except OSError:
+                pass
+
+    def compact(self) -> int:
+        """Re-scan the shards: drop corrupt entries and stray temp files,
+        rebuild the index from what is actually on disk (preserving known
+        recency), enforce the size bound, and return the entry count."""
+        if self.directory is None:
+            return 0
+        old_seq = {key: meta.get("seq", 0) for key, meta in self._index.items()}
+        rebuilt: dict[str, dict] = {}
+        for shard in sorted(self.directory.iterdir()):
+            if not shard.is_dir():
+                continue
+            for entry_file in sorted(shard.glob("*")):
+                if not entry_file.is_file():
+                    continue  # leave unexpected subdirectories alone
+                if entry_file.suffix != ".json":  # includes stray *.json.tmp
+                    entry_file.unlink(missing_ok=True)
+                    continue
+                try:
+                    payload = json.loads(entry_file.read_text(encoding="utf-8"))
+                    key = payload["key"]
+                    records = payload["records"]
+                except (OSError, json.JSONDecodeError, KeyError, TypeError):
+                    entry_file.unlink(missing_ok=True)
+                    continue
+                if not isinstance(key, str) or not isinstance(records, list):
+                    entry_file.unlink(missing_ok=True)
+                    continue
+                rebuilt[key] = {
+                    "file": entry_file.relative_to(self.directory).as_posix(),
+                    "size": entry_file.stat().st_size,
+                    "seq": old_seq.get(key, 0),
+                }
+        # Restore the recency-order invariant (oldest first) for O(1) eviction.
+        self._index = dict(sorted(rebuilt.items(), key=lambda kv: kv[1]["seq"]))
+        self._sequence = max(
+            (meta["seq"] for meta in self._index.values()), default=self._sequence
+        )
+        self._evict_to_bound()
+        self._write_index()
+        return len(self._index)
 
     def clear_memory(self) -> None:
         """Drop the in-memory layer (disk entries, if any, survive)."""

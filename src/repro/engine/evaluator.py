@@ -66,7 +66,13 @@ class Evaluator:
         self.cache = cache if cache is not None else EvaluationCache(directory=cache_dir)
 
     def evaluate(self, space: DesignSpace) -> ResultSet:
-        """Evaluate every point of ``space``, cheapest way possible."""
+        """Evaluate every point of ``space``, cheapest way possible.
+
+        Each grid point's overrides (flat or dotted) are resolved into a
+        fully nested :class:`ExperimentConfig` *before* anything is
+        cached or fanned out, so work items are self-contained and the
+        cache key always covers the complete nested structure.
+        """
         grid_points = space.points()
         configs = [point.config(self.base_config) for point in grid_points]
         keys = [point_key(config, self.scheme_names, self.baseline_name)
@@ -97,6 +103,13 @@ class Evaluator:
                 for i in miss_indices_by_key[key]:
                     entries[i] = entry
 
+        # Index writes are batched inside put(); one flush per batch keeps
+        # a cold N-point sweep O(N) in index I/O.  Flushed on the all-hit
+        # path too, so LRU recency from disk hits survives the session.
+        flush = getattr(self.cache, "flush_index", None)
+        if flush is not None:
+            flush()
+
         results = []
         for grid_point, config, entry, cached in zip(grid_points, configs,
                                                      entries, from_cache):
@@ -112,5 +125,13 @@ class Evaluator:
         return ResultSet(parameters=space.parameters, points=results)
 
     def evaluate_grid(self, axes: dict) -> ResultSet:
-        """Convenience: build the Cartesian grid and evaluate it."""
+        """Convenience: build the Cartesian grid and evaluate it.
+
+        Axes may be flat fields or dotted config paths::
+
+            Evaluator().evaluate_grid({
+                "crossbar.port_count": [3, 5, 8],
+                "technology_node": ["65nm", "45nm"],
+            })
+        """
         return self.evaluate(DesignSpace.grid(axes))

@@ -11,6 +11,13 @@ Three strategies share one interface:
   records, reassembled in submission order.
 * ``auto`` — ``process`` when the machine has more than one core and
   the batch is large enough to amortise pool start-up, else ``serial``.
+
+Work items carry fully-resolved nested configs, so they need no shared
+state to evaluate.  Within each process (the calling one for ``serial``,
+every pool worker for ``process``) scheme construction goes through the
+structural cache in :mod:`repro.core.scheme_evaluator`: consecutive
+items that differ only in non-structural scalars (static probability,
+toggle activity) reuse the built crossbar geometry and library.
 """
 
 from __future__ import annotations

@@ -6,34 +6,70 @@ evaluator's and executor's job).  Grids are fully materialised with a
 deterministic ordering — row-major over the axes in the order given,
 last axis fastest — so results can be cached, fanned out across
 processes and reassembled without ambiguity.
+
+Axes are named by config path: the flat ``ExperimentConfig`` scalars
+(``"temperature_celsius"``), dotted paths into the nested structure
+(``"crossbar.port_count"``, ``"noc.link_length"``), or any unambiguous
+leaf alias (``"port_count"``).  Names are normalised to canonical paths
+at construction, so a grid built from an alias and one built from the
+dotted path are the same design space.
 """
 
 from __future__ import annotations
 
 import itertools
-from collections.abc import Mapping, Sequence
+from collections.abc import Iterator, Mapping, Sequence
 from dataclasses import dataclass
 
 from ..core.config import ExperimentConfig
+from ..core.paths import normalize_path, sweepable_paths
 from ..errors import ConfigurationError
 
 __all__ = ["SWEEPABLE_FIELDS", "GridPoint", "DesignSpace"]
 
-#: Experiment fields a design space may vary, with a note on what they exercise.
-SWEEPABLE_FIELDS = {
-    "technology_node": "roadmap scaling of wires and devices",
-    "temperature_celsius": "leakage's exponential temperature dependence",
-    "corner": "process spread",
-    "clock_frequency": "how much slack the timing budget leaves for high Vt",
-    "static_probability": "data polarity (the pre-charged schemes' weak spot)",
-    "toggle_activity": "switching intensity",
-}
+
+class _SweepablePathMap(Mapping):
+    """Read-only view of the sweepable-path registry, built on first use.
+
+    Walking the registry instantiates the optional sub-config prototypes
+    (which imports the noc package); keeping that lazy preserves the
+    config layer's deliberate choice not to hard-import noc on
+    ``import repro``.
+    """
+
+    _cache: dict[str, str] | None = None
+
+    def _data(self) -> dict[str, str]:
+        if self._cache is None:
+            # The registry is immutable once built; one copy serves every
+            # mapping operation instead of a fresh dict per access.
+            type(self)._cache = sweepable_paths()
+        return self._cache
+
+    def __getitem__(self, key: str) -> str:
+        return self._data()[key]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._data())
+
+    def __len__(self) -> int:
+        return len(self._data())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"SWEEPABLE_FIELDS({self._data()!r})"
 
 
-def _check_parameter(name: str) -> None:
-    if name not in SWEEPABLE_FIELDS:
-        known = ", ".join(sorted(SWEEPABLE_FIELDS))
-        raise ConfigurationError(f"cannot sweep {name!r}; sweepable fields: {known}")
+#: Every config path a design space may vary, with a note on what it
+#: exercises.  Derived lazily from the nested ``ExperimentConfig``
+#: dataclass tree (see :mod:`repro.core.paths`); the historical six flat
+#: names are the top-level subset and remain valid spellings.
+SWEEPABLE_FIELDS: Mapping[str, str] = _SweepablePathMap()
+
+
+def _canonical_parameter(name: str) -> str:
+    """Resolve one axis name (flat field, dotted path, or alias) to its
+    canonical config path, rejecting unknown names."""
+    return normalize_path(name)
 
 
 @dataclass(frozen=True)
@@ -75,9 +111,15 @@ class DesignSpace:
         """
         if not axes:
             raise ConfigurationError("a design-space grid needs at least one axis")
-        materialised = {name: tuple(values) for name, values in axes.items()}
+        materialised: dict[str, tuple[object, ...]] = {}
+        for name, values in axes.items():
+            canonical = _canonical_parameter(name)
+            if canonical in materialised:
+                raise ConfigurationError(
+                    f"axis {name!r} duplicates config path {canonical!r}"
+                )
+            materialised[canonical] = tuple(values)
         for name, values in materialised.items():
-            _check_parameter(name)
             if not values:
                 raise ConfigurationError(f"axis {name!r} needs at least one value")
         parameters = tuple(materialised)
@@ -89,17 +131,21 @@ class DesignSpace:
         """An explicit list of points, all over the same parameter set."""
         if not points:
             raise ConfigurationError("a design space needs at least one point")
-        parameters = tuple(points[0])
-        for name in parameters:
-            _check_parameter(name)
+        given = tuple(points[0])
+        parameters = tuple(_canonical_parameter(name) for name in given)
+        if len(set(parameters)) != len(parameters):
+            raise ConfigurationError(
+                f"point parameters {given} resolve to duplicate config "
+                f"paths {parameters}"
+            )
         values = []
         for point in points:
-            if tuple(point) != parameters:
+            if tuple(point) != given:
                 raise ConfigurationError(
-                    f"every point must set the same parameters {parameters}, "
+                    f"every point must set the same parameters {given}, "
                     f"got {tuple(point)}"
                 )
-            values.append(tuple(point[name] for name in parameters))
+            values.append(tuple(point[name] for name in given))
         return cls(parameters=parameters, point_values=tuple(values))
 
     @classmethod

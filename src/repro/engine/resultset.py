@@ -14,6 +14,7 @@ from dataclasses import dataclass
 
 from ..core.comparison import SchemeComparison
 from ..core.config import ExperimentConfig
+from ..core.paths import normalize_path
 from ..errors import ConfigurationError
 
 __all__ = ["PointResult", "ResultSet"]
@@ -71,7 +72,7 @@ class ResultSet:
 
     def axis_values(self, parameter: str) -> list[object]:
         """Distinct values of one parameter, in first-appearance order."""
-        self._check_parameter(parameter)
+        parameter = self.resolve_parameter(parameter)
         seen: list[object] = []
         for point in self.points:
             value = point.overrides[parameter]
@@ -79,20 +80,43 @@ class ResultSet:
                 seen.append(value)
         return seen
 
-    def _check_parameter(self, parameter: str) -> None:
-        if parameter not in self.parameters:
-            raise ConfigurationError(
-                f"unknown parameter {parameter!r}; this result set varies "
-                f"{self.parameters}"
-            )
+    def resolve_parameter(self, parameter: str) -> str:
+        """Canonical name of one of this set's parameters.
+
+        Accepts the canonical config path and any spelling
+        :func:`~repro.core.paths.normalize_path` resolves to it (e.g.
+        ``"port_count"`` for a set varying ``"crossbar.port_count"``).
+        """
+        if parameter in self.parameters:
+            return parameter
+        try:
+            canonical = normalize_path(parameter)
+        except ConfigurationError:
+            canonical = None
+        if canonical is not None and canonical in self.parameters:
+            return canonical
+        raise ConfigurationError(
+            f"unknown parameter {parameter!r}; this result set varies "
+            f"{self.parameters}"
+        )
 
     def filter(self, **fixed: object) -> "ResultSet":
-        """Sub-space where every given parameter equals the given value."""
-        for name in fixed:
-            self._check_parameter(name)
+        """Sub-space where every given parameter equals the given value.
+
+        Dotted parameters are passed by unpacking:
+        ``results.filter(**{"crossbar.port_count": 5})``.
+        """
+        resolved: dict[str, object] = {}
+        for name, value in fixed.items():
+            canonical = self.resolve_parameter(name)
+            if canonical in resolved:
+                raise ConfigurationError(
+                    f"filter() got parameter {name!r} twice (as {canonical!r})"
+                )
+            resolved[canonical] = value
         kept = [
             point for point in self.points
-            if all(point.overrides[name] == value for name, value in fixed.items())
+            if all(point.overrides[name] == value for name, value in resolved.items())
         ]
         return ResultSet(parameters=self.parameters, points=kept)
 
@@ -111,7 +135,7 @@ class ResultSet:
                     f"varies {self.parameters}"
                 )
             axis = self.parameters[0]
-        self._check_parameter(axis)
+        axis = self.resolve_parameter(axis)
         return [
             (point.overrides[axis], point.value(scheme, metric))
             for point in self.points

@@ -82,7 +82,12 @@ class NocPowerModel:
 
     def __init__(self, scheme: CrossbarScheme, config: NocPowerConfig | None = None) -> None:
         self.scheme = scheme
-        self.config = config if config is not None else NocPowerConfig()
+        if config is None:
+            # Inherit the structural buffer depth declared on the crossbar
+            # config (sweepable as "crossbar.input_buffer_depth"); an
+            # explicit NocPowerConfig still overrides everything.
+            config = NocPowerConfig(buffer_depth=scheme.config.input_buffer_depth)
+        self.config = config
         self.library = scheme.library
 
     # -- per-component building blocks ------------------------------------------------

@@ -71,6 +71,12 @@ class TestDesignSpace:
             DesignSpace.from_points([{"corner": "TT"},
                                      {"corner": "TT", "static_probability": 0.5}])
 
+    def test_rejects_duplicate_spellings_of_one_path(self):
+        with pytest.raises(ConfigurationError, match="duplicate"):
+            DesignSpace.grid({"port_count": [3], "crossbar.port_count": [5]})
+        with pytest.raises(ConfigurationError, match="duplicate"):
+            DesignSpace.from_points([{"port_count": 3, "crossbar.port_count": 5}])
+
     def test_grid_accepts_one_shot_iterables(self):
         space = DesignSpace.grid({"corner": (c for c in ["TT", "SS"])})
         assert len(space) == 2
@@ -105,7 +111,10 @@ class TestCache:
         directory = tmp_path / "cache"
         writer = EvaluationCache(directory=directory)
         writer.put("deadbeef", CachedEntry(records=[{"scheme": "SC", "x": 1.25}]))
-        assert (directory / "deadbeef.json").is_file()
+        # Hex keys shard under their own two-char prefix.
+        assert (directory / "de" / "deadbeef.json").is_file()
+        writer.flush_index()
+        assert (directory / "index.json").is_file()
 
         reader = EvaluationCache(directory=directory)
         entry = reader.get("deadbeef")
@@ -113,6 +122,183 @@ class TestCache:
         assert entry.records == [{"scheme": "SC", "x": 1.25}]
         assert entry.comparison is None
         assert reader.stats.disk_hits == 1
+
+    def test_unsafe_keys_are_hashed_not_traversed(self, tmp_path):
+        directory = tmp_path / "cache"
+        cache = EvaluationCache(directory=directory)
+        hostile = "../../escape"
+        cache.put(hostile, CachedEntry(records=[{"scheme": "SC"}]))
+        # Nothing may be written outside the cache directory...
+        assert not (tmp_path / "escape.json").exists()
+        assert not (tmp_path.parent / "escape.json").exists()
+        written = [p for p in directory.rglob("*.json") if p.name != "index.json"]
+        assert len(written) == 1
+        assert directory in written[0].parents
+        # ...and the entry still round-trips through a fresh instance.
+        fresh = EvaluationCache(directory=directory)
+        assert fresh.get(hostile).records == [{"scheme": "SC"}]
+
+    def test_flat_pr1_layout_is_migrated_into_shards(self, tmp_path):
+        directory = tmp_path / "cache"
+        directory.mkdir()
+        key = "ab12cd34ef56ab12"
+        payload = {"schema": 1, "key": key, "records": [{"scheme": "SC", "x": 2.5}]}
+        (directory / f"{key}.json").write_text(json.dumps(payload), encoding="utf-8")
+
+        cache = EvaluationCache(directory=directory)
+        assert not (directory / f"{key}.json").exists()
+        assert (directory / "ab" / f"{key}.json").is_file()
+        assert cache.get(key).records == [{"scheme": "SC", "x": 2.5}]
+        assert cache.stats.disk_hits == 1
+
+    def test_eviction_keeps_most_recently_used(self, tmp_path):
+        cache = EvaluationCache(directory=tmp_path / "cache", max_disk_entries=2)
+        for key in ("aaaa1111", "bbbb2222", "cccc3333"):
+            cache.put(key, CachedEntry(records=[{"scheme": key}]))
+        assert cache.stats.evictions == 1
+        fresh = EvaluationCache(directory=tmp_path / "cache", max_disk_entries=2)
+        assert fresh.get("aaaa1111") is None  # oldest entry evicted
+        assert fresh.get("bbbb2222") is not None
+        assert fresh.get("cccc3333") is not None
+
+    def test_compact_drops_corrupt_entries_and_rebuilds_index(self, tmp_path):
+        directory = tmp_path / "cache"
+        cache = EvaluationCache(directory=directory)
+        cache.put("deadbeef", CachedEntry(records=[{"scheme": "SC"}]))
+        (directory / "de" / "corrupt.json").write_text("{not json", encoding="utf-8")
+        (directory / "de" / "stray.json.tmp").write_text("x", encoding="utf-8")
+        (directory / "de" / "junkdir").mkdir()  # must be left alone, not crash
+        assert cache.compact() == 1
+        assert not (directory / "de" / "corrupt.json").exists()
+        assert not (directory / "de" / "stray.json.tmp").exists()
+        assert (directory / "de" / "junkdir").is_dir()
+        fresh = EvaluationCache(directory=directory)
+        assert fresh.get("deadbeef") is not None
+
+    def test_hostile_or_corrupt_index_is_distrusted(self, tmp_path):
+        directory = tmp_path / "cache"
+        cache = EvaluationCache(directory=directory)
+        cache.put("deadbeef", CachedEntry(records=[{"scheme": "SC"}]))
+        cache.flush_index()
+        outside = tmp_path / "outside.json"
+        outside.write_text(json.dumps({"records": [{"scheme": "EVIL"}]}),
+                           encoding="utf-8")
+        index_path = directory / "index.json"
+        index = json.loads(index_path.read_text(encoding="utf-8"))
+        index["entries"]["deadbeef"]["file"] = str(outside)  # absolute escape
+        index["entries"]["aaaa1111"] = {"file": "../outside.json", "seq": "oops"}
+        index_path.write_text(json.dumps(index), encoding="utf-8")
+
+        fresh = EvaluationCache(directory=directory)  # corrupt seq must not raise
+        # The absolute path is ignored; the shard probe still finds the entry.
+        assert fresh.get("deadbeef").records == [{"scheme": "SC"}]
+        assert fresh.get("aaaa1111") is None  # traversal entry dropped
+
+    def test_eviction_cannot_be_misdirected_by_hostile_index(self, tmp_path):
+        directory = tmp_path / "cache"
+        cache = EvaluationCache(directory=directory)
+        cache.put("deadbeef", CachedEntry(records=[{"scheme": "A"}]))
+        cache.flush_index()
+        index_path = directory / "index.json"
+        index = json.loads(index_path.read_text(encoding="utf-8"))
+        # Aim the oldest entry's file at the index itself (relative,
+        # in-directory: passes the traversal guard).
+        index["entries"]["deadbeef"]["file"] = "index.json"
+        index_path.write_text(json.dumps(index), encoding="utf-8")
+        bounded = EvaluationCache(directory=directory, max_disk_entries=1)
+        bounded.put("cafecafe", CachedEntry(records=[{"scheme": "B"}]))
+        # Eviction removed deadbeef's canonical file, nothing else.
+        assert (directory / "index.json").is_file()
+        assert not (directory / "de" / "deadbeef.json").exists()
+        assert EvaluationCache(directory=directory).get("cafecafe") is not None
+
+    def test_misdirected_index_entry_cannot_alias_keys(self, tmp_path):
+        directory = tmp_path / "cache"
+        cache = EvaluationCache(directory=directory)
+        cache.put("deadbeef", CachedEntry(records=[{"scheme": "A"}]))
+        cache.put("cafecafe", CachedEntry(records=[{"scheme": "B"}]))
+        cache.flush_index()
+        index_path = directory / "index.json"
+        index = json.loads(index_path.read_text(encoding="utf-8"))
+        # Point A's index entry at B's (valid, in-directory) file.
+        index["entries"]["deadbeef"]["file"] = index["entries"]["cafecafe"]["file"]
+        index_path.write_text(json.dumps(index), encoding="utf-8")
+        fresh = EvaluationCache(directory=directory)
+        # The stored-key check rejects the aliased file; the canonical
+        # shard probe still serves A's own records.
+        assert fresh.get("deadbeef").records == [{"scheme": "A"}]
+
+    def test_unindexed_entries_are_adopted_on_lookup(self, tmp_path):
+        """Files from a session that crashed before flushing its index
+        batch must re-enter the index (and thus the eviction bound) when
+        a lookup finds them via the canonical shard probe."""
+        directory = tmp_path / "cache"
+        writer = EvaluationCache(directory=directory)
+        writer.put("deadbeef", CachedEntry(records=[{"scheme": "SC"}]))
+        assert not (directory / "index.json").exists()  # never flushed
+        reader = EvaluationCache(directory=directory)
+        assert reader.get("deadbeef") is not None
+        reader.flush_index()
+        index = json.loads((directory / "index.json").read_text(encoding="utf-8"))
+        assert "deadbeef" in index["entries"]
+
+    def test_disk_hit_recency_survives_sessions(self, tmp_path):
+        directory = tmp_path / "cache"
+        writer = EvaluationCache(directory=directory)
+        writer.put("aaaa1111", CachedEntry(records=[{"scheme": "SC"}]))
+        writer.put("bbbb2222", CachedEntry(records=[{"scheme": "SC"}]))
+        writer.flush_index()
+        # A hit-only session touches the older entry and flushes.
+        warm = EvaluationCache(directory=directory)
+        assert warm.get("aaaa1111") is not None
+        warm.flush_index()
+        # A later bounded session must evict the true LRU (bbbb2222).
+        bounded = EvaluationCache(directory=directory, max_disk_entries=2)
+        bounded.put("cccc3333", CachedEntry(records=[{"scheme": "SC"}]))
+        fresh = EvaluationCache(directory=directory)
+        assert fresh.get("aaaa1111") is not None
+        assert fresh.get("bbbb2222") is None
+
+    def test_index_writes_are_batched_until_flush(self, tmp_path):
+        directory = tmp_path / "cache"
+        cache = EvaluationCache(directory=directory)
+        cache.put("deadbeef", CachedEntry(records=[{"scheme": "SC"}]))
+        assert not (directory / "index.json").exists()  # batched, not per put
+        cache.flush_index()
+        index = json.loads((directory / "index.json").read_text(encoding="utf-8"))
+        assert "deadbeef" in index["entries"]
+        # A reader that never saw the index still finds the entry.
+        assert EvaluationCache(directory=directory).get("deadbeef") is not None
+
+    def test_nested_config_round_trips_through_disk(self, tmp_path):
+        nested = ExperimentConfig().with_overrides(**{
+            "crossbar.port_count": 7,
+            "noc.link_length": 2.0e-3,
+        })
+        key = point_key(nested, SCHEMES)
+        writer = EvaluationCache(directory=tmp_path / "cache")
+        writer.put(key, CachedEntry(records=[{"scheme": "SC", "p": 7}]))
+        reader = EvaluationCache(directory=tmp_path / "cache")
+        assert reader.get(key).records == [{"scheme": "SC", "p": 7}]
+
+    def test_key_ignores_default_extension_fields(self, monkeypatch):
+        """Flat-only points keep their PR-1 cache keys: the optional noc
+        branch and new crossbar fields only enter the key when set."""
+        import repro
+
+        # Pin the version the golden hash was captured under, so routine
+        # version bumps (an *intended* invalidation) don't fail this test.
+        monkeypatch.setattr(repro, "__version__", "1.0.0")
+        base = point_key(ExperimentConfig(), SCHEMES)
+        assert base == ("bd609d6dacd12aac0807b920269863c91337550c30a095"
+                        "bd5c61f573ec6c500d")  # golden, captured pre-refactor
+        explicit_defaults = ExperimentConfig().with_overrides(**{
+            "crossbar.input_buffer_depth": 4})
+        assert point_key(explicit_defaults, SCHEMES) == base
+        assert point_key(ExperimentConfig().with_overrides(**{
+            "crossbar.input_buffer_depth": 8}), SCHEMES) != base
+        assert point_key(ExperimentConfig().with_overrides(**{
+            "noc.buffer_depth": 4}), SCHEMES) != base  # branch materialised
 
     def test_corrupt_disk_entry_is_a_miss(self, tmp_path):
         directory = tmp_path / "cache"
@@ -247,6 +433,123 @@ class TestResultSet:
         text = sweep_table(small_results.filter(temperature_celsius=25.0),
                            SCHEMES, "total_power_mw", axis="static_probability")
         assert "SDPC" in text and "0.9" in text
+
+
+class TestNestedAxes:
+    """Dotted config paths swept end-to-end through the engine."""
+
+    @pytest.fixture(scope="class")
+    def radix_results(self, tmp_path_factory):
+        cache_dir = tmp_path_factory.mktemp("radix-cache")
+        evaluator = Evaluator(scheme_names=SCHEMES, cache_dir=cache_dir)
+        results = evaluator.evaluate_grid({
+            "crossbar.port_count": [3, 5, 8],
+            "technology_node": ["65nm", "45nm"],
+        })
+        return evaluator, results, cache_dir
+
+    def test_grid_order_and_configs(self, radix_results):
+        _, results, _ = radix_results
+        assert results.parameters == ("crossbar.port_count", "technology_node")
+        assert [p.overrides["crossbar.port_count"] for p in results] == \
+            [3, 3, 5, 5, 8, 8]
+        assert [p.config.crossbar.port_count for p in results] == [3, 3, 5, 5, 8, 8]
+        assert [p.config.technology_node for p in results] == \
+            ["65nm", "45nm"] * 3
+        # More ports -> more crosspoints -> more leakage, all else equal.
+        at_45 = results.filter(technology_node="45nm")
+        leakages = [p.value("SC", "active_leakage_mw") for p in at_45]
+        assert leakages == sorted(leakages) and leakages[0] < leakages[-1]
+
+    def test_second_run_hits_sharded_disk_cache(self, radix_results):
+        _, first, cache_dir = radix_results
+        fresh = Evaluator(scheme_names=SCHEMES, cache_dir=cache_dir)
+        rerun = fresh.evaluate_grid({
+            "crossbar.port_count": [3, 5, 8],
+            "technology_node": ["65nm", "45nm"],
+        })
+        assert rerun.cache_hit_count == len(rerun) == 6
+        assert fresh.cache.stats.disk_hits == 6
+        assert [p.records for p in rerun] == [p.records for p in first]
+
+    def test_series_filter_and_table_accept_dotted_names(self, radix_results):
+        _, results, _ = radix_results
+        series = results.filter(technology_node="45nm").series(
+            "SDPC", "total_power_mw", axis="crossbar.port_count")
+        assert [value for value, _ in series] == [3, 5, 8]
+        # The unambiguous leaf alias resolves to the same axis.
+        alias = results.filter(technology_node="45nm").series(
+            "SDPC", "total_power_mw", axis="port_count")
+        assert alias == series
+        text = sweep_table(results.filter(technology_node="45nm"), SCHEMES,
+                           "total_power_mw", axis="crossbar.port_count")
+        assert "SDPC" in text and "8" in text
+        with pytest.raises(ConfigurationError, match="unknown parameter"):
+            results.series("SC", "total_power_mw", axis="flit_width")
+        with pytest.raises(ConfigurationError, match="twice"):
+            results.filter(port_count=3, **{"crossbar.port_count": 5})
+
+    def test_alias_and_dotted_spellings_share_cache_keys(self):
+        evaluator = Evaluator(scheme_names=SCHEMES)
+        evaluator.evaluate_grid({"port_count": [3]})
+        rerun = evaluator.evaluate_grid({"crossbar.port_count": [3]})
+        assert rerun.cache_hit_count == 1
+
+    def test_invalid_nested_value_names_the_path(self):
+        space = DesignSpace.grid({"crossbar.port_count": [1]})
+        with pytest.raises(ReproError, match="crossbar.port_count"):
+            space.configs()
+
+    def test_noc_axis_materialises_branch(self):
+        space = DesignSpace.grid({"noc.link_length": [1.0e-3, 2.0e-3]})
+        configs = space.configs()
+        assert [c.noc.link_length for c in configs] == [1.0e-3, 2.0e-3]
+
+    def test_flat_sweep_tables_unchanged_by_path_refactor(self):
+        """Flat-field sweeps must render byte-identically whether driven
+        through sweep_parameter or the engine grid (same points, same
+        order, same cache identity)."""
+        from repro import sweep_parameter
+
+        values = [0.2, 0.8]
+        legacy = sweep_parameter("static_probability", values,
+                                 scheme_names=SCHEMES)
+        legacy_series = legacy.series("SDPC", "total_power_mw")
+        results = Evaluator(scheme_names=SCHEMES).evaluate_grid(
+            {"static_probability": values})
+        engine_series = results.series("SDPC", "total_power_mw")
+        assert legacy_series == engine_series
+
+
+class TestStructuralMemoisation:
+    def test_schemes_reused_across_non_structural_points(self):
+        from repro.core.scheme_evaluator import (
+            clear_structural_cache,
+            structural_cache_stats,
+        )
+
+        clear_structural_cache()
+        Evaluator(scheme_names=SCHEMES).evaluate_grid(
+            {"static_probability": [0.1, 0.5, 0.9],
+             "toggle_activity": [0.3, 0.7]})
+        stats = structural_cache_stats()
+        # One library and one build per scheme for all six points.
+        assert stats.library_misses == 1
+        assert stats.scheme_misses == len(SCHEMES)
+        assert stats.scheme_hits == (6 - 1) * len(SCHEMES)
+
+    def test_structural_axes_rebuild(self):
+        from repro.core.scheme_evaluator import (
+            clear_structural_cache,
+            structural_cache_stats,
+        )
+
+        clear_structural_cache()
+        Evaluator(scheme_names=SCHEMES).evaluate_grid(
+            {"crossbar.flit_width": [32, 64]})
+        stats = structural_cache_stats()
+        assert stats.scheme_misses == 2 * len(SCHEMES)
+        assert stats.library_misses == 1  # same technology point throughout
 
 
 class TestCrossoverBugfix:
