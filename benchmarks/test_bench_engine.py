@@ -5,16 +5,19 @@ executors, verifies the two paths agree bit-for-bit, and verifies a
 re-run is served entirely from the cache.
 
 When ``REPRO_BENCH_GATE=1`` (set by the bench smoke job and
-``scripts/ci_check.sh``, not by plain ``pytest``): the previous
-``BENCH_engine.json`` (committed by the last PR) is the regression
-baseline — the run fails if serial throughput drops below a third of
-it — and the fresh numbers are written back to ``BENCH_engine.json`` so
-CI can track the perf trajectory across PRs.  The 3x margin absorbs
-runner-to-runner noise — hardware differs between the machine that
-committed the baseline and the machine re-running it — while still
-catching a hot path going off a cliff.  Tier-1 runs collect this file
-too, so both the gate and the baseline rewrite stay opt-in: functional
-CI must be machine-speed-independent.
+``scripts/ci_check.sh``, not by plain ``pytest``): the regression
+baseline is the *rolling median* of serial throughput over the recent
+``BENCH_history.json`` records (falling back to the committed
+``BENCH_engine.json`` snapshot while the history is short) — the run
+fails if serial throughput drops below a third of it — and the fresh
+numbers are merged back into ``BENCH_engine.json`` plus appended to the
+history, so CI tracks the perf trajectory across PRs.  The median
+resists one anomalously fast run poisoning the baseline; the 3x margin
+absorbs runner-to-runner noise — hardware differs between the machine
+that committed the baseline and the machine re-running it — while
+still catching a hot path going off a cliff.  Tier-1 runs collect this
+file too, so both the gate and the baseline rewrite stay opt-in:
+functional CI must be machine-speed-independent.
 
 Honesty note: the recorded ``cpu_count`` matters — on a single-core
 container the process executor cannot beat serial (pool start-up is pure
@@ -24,14 +27,10 @@ runners.
 
 from __future__ import annotations
 
-import json
 import os
 import time
-from pathlib import Path
 
 from repro import DesignSpace, Evaluator, paper_experiment
-
-BENCH_PATH = Path(__file__).resolve().parents[1] / "BENCH_engine.json"
 
 #: Fail the smoke job when serial points/sec falls below baseline/3.
 REGRESSION_FACTOR = 3.0
@@ -42,16 +41,6 @@ REGRESSION_FACTOR = 3.0
 #: (machine-speed-independent) and must not silently replace the
 #: committed baseline on every developer run.
 GATE_ENABLED = os.environ.get("REPRO_BENCH_GATE") == "1"
-
-
-def _baseline_points_per_second() -> float | None:
-    """Serial throughput recorded by the last committed benchmark run."""
-    try:
-        payload = json.loads(BENCH_PATH.read_text(encoding="utf-8"))
-        value = payload["serial_points_per_second"]
-    except (OSError, json.JSONDecodeError, KeyError, TypeError):
-        return None
-    return float(value) if isinstance(value, (int, float)) else None
 
 SCHEMES = ["SC", "SDPC"]
 GRID = {
@@ -66,10 +55,10 @@ def _timed_evaluate(evaluator: Evaluator, space: DesignSpace):
     return results, time.perf_counter() - start
 
 
-def test_engine_throughput_and_cache(benchmark):
+def test_engine_throughput_and_cache(benchmark, bench_store):
     """Serial vs process points/sec, executor parity, 100 % cache re-run,
-    and the >3x throughput-regression gate against the last record."""
-    baseline_pps = _baseline_points_per_second()
+    and the >3x throughput-regression gate against the rolling median."""
+    baseline_pps = bench_store.rolling_baseline("serial_points_per_second")
     space = DesignSpace.grid(GRID)
     assert len(space) >= 32
 
@@ -116,7 +105,8 @@ def test_engine_throughput_and_cache(benchmark):
     print(f"  cached : {payload['cached_points_per_second']:8.1f} points/s "
           f"({payload['cache_speedup_vs_serial']:.0f}x serial)")
     if baseline_pps is not None:
-        print(f"  gate   : baseline {baseline_pps:.1f} points/s, "
+        print(f"  gate   : rolling-median baseline {baseline_pps:.1f} points/s "
+              f"(window {bench_store.ROLLING_WINDOW}), "
               f"fail below {baseline_pps / REGRESSION_FACTOR:.1f}")
 
     # The cache must make the re-run at least an order of magnitude faster.
@@ -134,11 +124,21 @@ def test_engine_throughput_and_cache(benchmark):
         assert payload["serial_points_per_second"] >= floor, (
             f"serial throughput regressed more than {REGRESSION_FACTOR:.0f}x: "
             f"{payload['serial_points_per_second']:.1f} points/s vs "
-            f"baseline {baseline_pps:.1f} (floor {floor:.1f})"
+            f"rolling-median baseline {baseline_pps:.1f} (floor {floor:.1f})"
         )
 
-    BENCH_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
-                          encoding="utf-8")
+    # Merge (not overwrite): the service bench contributes its own keys
+    # to the same snapshot.  The history gets one compact record per run
+    # so the gate's rolling median has a trend to stand on.
+    bench_store.merge(payload)
+    bench_store.append_history({
+        "bench": "engine",
+        "cpu_count": payload["cpu_count"],
+        "grid_points": points,
+        "serial_points_per_second": payload["serial_points_per_second"],
+        "process_points_per_second": payload["process_points_per_second"],
+        "cached_points_per_second": payload["cached_points_per_second"],
+    })
 
 
 def test_engine_disk_cache_cold_start(benchmark, tmp_path):

@@ -1,0 +1,108 @@
+"""Load smoke for the async evaluation service.
+
+Round-trips a burst of mixed traffic — warm repeats (cache hits), fresh
+points (batched misses) and concurrent duplicates (coalesced) — through
+the HTTP front on a loopback socket, and measures end-to-end queries
+per second *including* the protocol cost.  Under ``REPRO_BENCH_GATE=1``
+the throughput record is merged into ``BENCH_engine.json`` (service_*
+keys, alongside the engine bench's keys) and appended to
+``BENCH_history.json``, so the serving trend is tracked next to the raw
+engine trend.
+
+The serial executor keeps the smoke honest on the 1-CPU CI container;
+on multicore runners the batching path is where ``--executor process``
+turns the same burst into a pool fan-out.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import time
+
+from repro.engine import EvaluationServer, EvaluationService, ServiceClient
+
+GATE_ENABLED = os.environ.get("REPRO_BENCH_GATE") == "1"
+
+SCHEMES = ["SC", "SDPC"]
+
+#: Evaluated up front, so their burst repeats are pure cache hits.
+WARM_POINTS = [{"static_probability": p} for p in (0.1, 0.25, 0.5, 0.75)]
+#: Fresh misses the burst batches through the executor.
+FRESH_POINTS = [{"static_probability": p} for p in (0.15, 0.35, 0.65, 0.85)]
+#: Two distinct new points, each queried three times concurrently — the
+#: duplicates should coalesce onto the first query's evaluation.
+DUPLICATED_POINTS = [{"temperature_celsius": t} for t in (40.0, 70.0)]
+
+BURST = WARM_POINTS * 4 + FRESH_POINTS + DUPLICATED_POINTS * 3
+
+
+async def _run_load() -> tuple[list[dict], float, dict]:
+    service = EvaluationService(scheme_names=SCHEMES, executor="serial",
+                                max_batch_size=8, flush_interval=0.005)
+    server = await EvaluationServer(service, host="127.0.0.1", port=0).start()
+    client = ServiceClient("127.0.0.1", server.port)
+    try:
+        warmed = await asyncio.gather(
+            *[client.evaluate(query) for query in WARM_POINTS])
+        assert all(not answer["from_cache"] for answer in warmed)
+
+        start = time.perf_counter()
+        answers = await asyncio.gather(
+            *[client.evaluate(query) for query in BURST])
+        elapsed = time.perf_counter() - start
+        stats = await client.stats()
+    finally:
+        await server.stop()
+        await service.stop()
+    return answers, elapsed, stats
+
+
+def test_service_load_smoke(benchmark, bench_store):
+    """Mixed hit/miss/coalesce burst through the HTTP front, recorded as
+    service_* keys in BENCH_engine.json plus a history entry."""
+    answers, elapsed, stats = benchmark.pedantic(
+        lambda: asyncio.run(_run_load()), rounds=1, iterations=1)
+
+    assert len(answers) == len(BURST)
+    assert all(len(answer["records"]) == len(SCHEMES) for answer in answers)
+    hits = sum(answer["from_cache"] for answer in answers)
+    coalesced = sum(answer["coalesced"] for answer in answers)
+    # The 16 warm repeats must all be cache hits; the other 10 queries
+    # split between evaluated misses, coalesced duplicates and (when a
+    # duplicate arrives after its twin completed) extra hits — the split
+    # depends on arrival timing, the accounting identity cannot.
+    assert hits >= len(WARM_POINTS) * 4
+    assert hits + coalesced + stats["service"]["evaluated"] - len(WARM_POINTS) \
+        == len(BURST)
+    assert stats["service"]["batches"] >= 1
+
+    queries_per_second = len(answers) / elapsed
+    payload = {
+        "service_burst_queries": len(answers),
+        "service_burst_seconds": elapsed,
+        "service_queries_per_second": queries_per_second,
+        "service_cache_hits": hits,
+        "service_coalesced": coalesced,
+        "service_evaluated": stats["service"]["evaluated"] - len(WARM_POINTS),
+        "service_batches": stats["service"]["batches"],
+        "service_largest_batch": stats["service"]["largest_batch"],
+    }
+    print()
+    print(f"service load smoke ({len(answers)} queries over HTTP, "
+          f"schemes {SCHEMES}):")
+    print(f"  end-to-end: {queries_per_second:8.1f} queries/s "
+          f"({elapsed * 1e3:.1f} ms total)")
+    print(f"  mix       : {hits} hits, {payload['service_evaluated']} "
+          f"evaluated in {payload['service_batches']} batches, "
+          f"{coalesced} coalesced")
+
+    if not GATE_ENABLED:
+        return
+
+    bench_store.merge(payload)
+    bench_store.append_history({
+        "bench": "service",
+        "cpu_count": os.cpu_count(),
+        "service_queries_per_second": queries_per_second,
+    })

@@ -1,0 +1,91 @@
+"""Async serving demo: mixed hit/miss traffic against a live service.
+
+Starts the evaluation service with its HTTP front on an ephemeral
+loopback port, warms the cache with a small structural sweep, then
+fires a burst of concurrent queries — repeats of warm points (cache
+hits), fresh points (batched misses) and in-flight duplicates
+(coalesced onto one evaluation) — through :class:`ServiceClient`.
+Finishes by demonstrating the structured validation error a malformed
+dotted path earns, and prints the server's own accounting.
+
+Run with ``python examples/serving.py``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.engine import (  # noqa: E402
+    EvaluationServer,
+    EvaluationService,
+    InvalidRequestError,
+    ServiceClient,
+)
+
+SCHEMES = ["SC", "SDPC"]
+
+#: Warm-up sweep: these land in the cache before the mixed burst.
+WARM_POINTS = [{"static_probability": p} for p in (0.1, 0.3, 0.5, 0.7)]
+
+#: The mixed burst: warm repeats, fresh points, and deliberate
+#: duplicates that should coalesce onto a single evaluation.
+BURST = (
+    WARM_POINTS                                            # 4 cache hits
+    + [{"static_probability": 0.9},                        # fresh misses
+       {"crossbar.port_count": 3},
+       {"port_count": 8}]                                  # alias spelling
+    + [{"temperature_celsius": 55.0}] * 3                  # 1 miss + 2 coalesced
+)
+
+
+async def main() -> None:
+    service = EvaluationService(scheme_names=SCHEMES, executor="serial",
+                                max_batch_size=8, flush_interval=0.02)
+    server = await EvaluationServer(service, host="127.0.0.1", port=0).start()
+    client = ServiceClient("127.0.0.1", server.port)
+    print(f"service up on http://127.0.0.1:{server.port} (schemes {SCHEMES})")
+
+    warm = await asyncio.gather(*[client.evaluate(q) for q in WARM_POINTS])
+    assert all(not r["from_cache"] for r in warm)
+    print(f"warmed the cache with {len(warm)} points")
+
+    start = time.perf_counter()
+    answers = await asyncio.gather(*[client.evaluate(q) for q in BURST])
+    elapsed = time.perf_counter() - start
+
+    hits = sum(r["from_cache"] for r in answers)
+    coalesced = sum(r["coalesced"] for r in answers)
+    misses = len(answers) - hits - coalesced
+    print(f"burst: {len(answers)} queries in {elapsed*1e3:.1f} ms "
+          f"({len(answers)/elapsed:.0f} q/s) — "
+          f"{hits} cache hits, {misses} evaluated, {coalesced} coalesced")
+    for query, answer in zip(BURST[:3], answers[:3]):
+        sdpc = next(r for r in answer["records"] if r["scheme"] == "SDPC")
+        print(f"  {query} -> SDPC total {sdpc['total_power_mw']:.1f} mW "
+              f"(from_cache={answer['from_cache']})")
+
+    try:
+        await client.evaluate({"crossbar.portcount": 5})
+    except InvalidRequestError as exc:
+        print(f"malformed path rejected: error={exc.payload['error']!r} "
+              f"path={exc.payload['path']!r}")
+
+    stats = await client.stats()
+    svc = stats["service"]
+    print(f"server accounting: {svc['requests']} requests, "
+          f"{svc['cache_hits']} hits, {svc['evaluated']} evaluated in "
+          f"{svc['batches']} batches (largest {svc['largest_batch']}), "
+          f"{svc['coalesced']} coalesced, {svc['invalid_requests']} rejected")
+
+    await server.stop()
+    await service.stop()
+    print("service stopped (pending batches flushed)")
+
+
+if __name__ == "__main__":
+    asyncio.run(main())

@@ -19,13 +19,23 @@ fi
 echo "==> Tier-1 tests"
 PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m pytest -x -q
 
-echo "==> Engine benchmark smoke (regression-gated against last BENCH_engine.json)"
-REPRO_BENCH_GATE=1 PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m pytest benchmarks -q -k "engine" --benchmark-disable-gc
+echo "==> Engine + service benchmark smoke (gated vs BENCH_history.json rolling median)"
+REPRO_BENCH_GATE=1 PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m pytest benchmarks -q -k "engine or service" --benchmark-disable-gc
 
 echo "==> BENCH_engine.json"
 cat BENCH_engine.json
 
+echo "==> BENCH_history.json (last record)"
+python - <<'EOF'
+import json
+history = json.load(open("BENCH_history.json"))
+print(f"{len(history)} records; last: {json.dumps(history[-1], sort_keys=True)}")
+EOF
+
 echo "==> Example smoke: radix scaling (nested crossbar.port_count axes)"
 python examples/radix_scaling.py > /dev/null
+
+echo "==> Example smoke: async serving round trip"
+python examples/serving.py > /dev/null
 
 echo "==> CI gate passed"

@@ -41,6 +41,7 @@ __all__ = [
     "normalize_path",
     "sweepable_paths",
     "path_aliases",
+    "path_registry_records",
 ]
 
 PATH_SEPARATOR = "."
@@ -257,3 +258,35 @@ def normalize_path(name: str) -> str:
 def describe_path(path: str) -> str:
     """One-line note on what varying ``path`` exercises."""
     return _registry()[normalize_path(path)]
+
+
+def path_registry_records() -> list[dict]:
+    """JSON-safe records of every sweepable path, in tree order.
+
+    Each record carries the canonical ``path``, its ``note`` (from
+    :func:`describe_path`), any accepted alias spellings, the default
+    value on a fresh :class:`~repro.core.config.ExperimentConfig`, and
+    whether the path is network-level (feeds the NoC power model rather
+    than the Table-1 records).  This is the single source for the
+    generated ``docs/config_paths.md`` and the evaluation service's
+    ``GET /paths`` endpoint, so the two can never drift apart.
+    """
+    from .config import ExperimentConfig
+
+    aliases_by_path: dict[str, list[str]] = {}
+    for alias, target in path_aliases().items():
+        aliases_by_path.setdefault(target, []).append(alias)
+    root = ExperimentConfig()
+    records = []
+    for path, note in _registry().items():
+        default = get_path(root, path)
+        if not isinstance(default, (bool, int, float, str, type(None))):
+            default = repr(default)
+        records.append({
+            "path": path,
+            "note": note,
+            "aliases": sorted(aliases_by_path.get(path, [])),
+            "default": default,
+            "network_level": _is_network_level(path),
+        })
+    return records

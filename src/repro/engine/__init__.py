@@ -6,6 +6,10 @@ evaluated point behind a content-addressed cache
 (:class:`EvaluationCache`), fans misses out serially or across a
 process pool (:mod:`repro.engine.executor`), and returns a queryable
 :class:`ResultSet` (filtering, series extraction, Pareto fronts).
+For online use, :mod:`repro.engine.service` wraps the same cache and
+executor in a long-running asyncio service (HTTP front +
+:class:`ServiceClient`; run it with ``python -m repro.engine.service``),
+and ``python -m repro.engine.cache`` maintains long-lived disk caches.
 
 Axes are config paths: the flat ``ExperimentConfig`` scalars, dotted
 paths into the nested structure (``"crossbar.port_count"``,
@@ -36,18 +40,47 @@ from .executor import ProcessExecutor, SerialExecutor, resolve_executor
 from .grid import SWEEPABLE_FIELDS, DesignSpace, GridPoint
 from .resultset import PointResult, ResultSet
 
+#: Service symbols resolved lazily (PEP 562): ``python -m
+#: repro.engine.service`` must be able to execute the module as
+#: ``__main__`` without this package having imported it first (runpy
+#: warns about exactly that), and ``import repro`` stays light.
+_SERVICE_EXPORTS = frozenset({
+    "EvaluationServer",
+    "EvaluationService",
+    "InvalidRequestError",
+    "ServiceClient",
+    "ServiceResult",
+    "ServiceStats",
+})
+
+
+def __getattr__(name: str):
+    """Resolve the service-layer exports on first access."""
+    if name in _SERVICE_EXPORTS:
+        from . import service
+
+        return getattr(service, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
 __all__ = [
     "CacheStats",
     "CachedEntry",
     "DesignSpace",
     "EvaluationCache",
+    "EvaluationServer",
+    "EvaluationService",
     "Evaluator",
     "GridPoint",
+    "InvalidRequestError",
     "PointResult",
     "ProcessExecutor",
     "ResultSet",
     "SWEEPABLE_FIELDS",
     "SerialExecutor",
+    "ServiceClient",
+    "ServiceResult",
+    "ServiceStats",
     "describe_path",
     "get_path",
     "normalize_path",

@@ -25,7 +25,8 @@ drops the least-recently-used entries after each write (the index also
 records each entry's byte size, the hook for a future byte-budget
 bound); :meth:`EvaluationCache.compact` re-scans the shards, drops
 corrupt or orphaned files, rebuilds the index and enforces the bound in
-one sweep.
+one sweep.  ``python -m repro.engine.cache stats|compact DIR`` exposes
+both to the shell for long-lived shared caches (see :func:`main`).
 """
 
 from __future__ import annotations
@@ -44,7 +45,7 @@ from ..core.config import ExperimentConfig
 from ..errors import ConfigurationError
 
 __all__ = ["CACHE_SCHEMA_VERSION", "config_payload", "point_key", "CacheStats",
-           "CachedEntry", "EvaluationCache"]
+           "CachedEntry", "EvaluationCache", "main"]
 
 #: Bump when the cached record layout changes; invalidates old disk entries.
 CACHE_SCHEMA_VERSION = 1
@@ -117,9 +118,11 @@ class CacheStats:
     disk_hits: int = 0
     puts: int = 0
     evictions: int = 0
+    memory_evictions: int = 0
 
     @property
     def lookups(self) -> int:
+        """Total lookups observed (hits plus misses)."""
         return self.hits + self.misses
 
     @property
@@ -166,15 +169,24 @@ class EvaluationCache:
     the entries the index knows about: files left by a session that
     crashed before flushing its index batch are adopted when a lookup
     touches them, and :meth:`compact` reconciles everything on disk.
+
+    ``max_memory_entries`` likewise bounds the in-memory layer LRU-wise
+    (``None`` = unbounded) — long-lived holders such as the evaluation
+    service should set it so a scan over millions of distinct points
+    cannot exhaust RAM; evicted entries remain served from disk when a
+    directory is configured.
     """
 
     directory: Path | None = None
     max_disk_entries: int | None = None
+    max_memory_entries: int | None = None
     stats: CacheStats = field(default_factory=CacheStats)
 
     def __post_init__(self) -> None:
         if self.max_disk_entries is not None and self.max_disk_entries < 1:
             raise ConfigurationError("max_disk_entries must be at least 1")
+        if self.max_memory_entries is not None and self.max_memory_entries < 1:
+            raise ConfigurationError("max_memory_entries must be at least 1")
         self._memory: dict[str, CachedEntry] = {}
         self._index: dict[str, dict] = {}
         self._sequence = 0
@@ -188,6 +200,7 @@ class EvaluationCache:
             self._migrate_flat_layout()
 
     def __len__(self) -> int:
+        """Number of entries in the in-memory layer."""
         return len(self._memory)
 
     # -- disk layout -------------------------------------------------------------
@@ -321,10 +334,26 @@ class EvaluationCache:
             return None
         return records
 
+    def _remember_memory(self, key: str, entry: CachedEntry) -> None:
+        """Insert at the recent end of the memory layer; enforce the bound.
+
+        The memory dict is kept in recency order (oldest first), so the
+        LRU eviction is O(1) per dropped entry."""
+        self._memory.pop(key, None)
+        self._memory[key] = entry
+        if self.max_memory_entries is not None:
+            while len(self._memory) > self.max_memory_entries:
+                self._memory.pop(next(iter(self._memory)))
+                self.stats.memory_evictions += 1
+
     def get(self, key: str) -> CachedEntry | None:
         """Look up one key; counts a hit or a miss."""
         entry = self._memory.get(key)
         if entry is not None:
+            if self.max_memory_entries is not None:
+                # Keep recency accurate for the bounded memory layer.
+                self._memory.pop(key)
+                self._memory[key] = entry
             self.stats.hits += 1
             return entry
         if self.directory is not None:
@@ -335,7 +364,7 @@ class EvaluationCache:
                 if records is None:
                     continue  # corrupt or mismatched entry: treat as a miss
                 entry = CachedEntry(records=records)
-                self._memory[key] = entry
+                self._remember_memory(key, entry)
                 meta = self._index.pop(key, None)
                 if meta is not None:  # move to the recent end of the index
                     self._sequence += 1
@@ -368,7 +397,7 @@ class EvaluationCache:
 
     def put(self, key: str, entry: CachedEntry) -> None:
         """Store one evaluated point (records go to disk when enabled)."""
-        self._memory[key] = entry
+        self._remember_memory(key, entry)
         self.stats.puts += 1
         if self.directory is not None:
             path = self._disk_path(key)
@@ -450,6 +479,73 @@ class EvaluationCache:
         self._write_index()
         return len(self._index)
 
+    def disk_stats(self) -> dict:
+        """Summary of the on-disk store, from the loaded index.
+
+        Returns a JSON-safe dict with the cache ``directory``, indexed
+        ``entries``, their total ``bytes``, and the configured
+        ``max_disk_entries`` bound (``None`` = unbounded).  Counts what
+        the index knows about; run :meth:`compact` first for an exact
+        on-disk reconciliation.
+        """
+        return {
+            "directory": str(self.directory) if self.directory is not None else None,
+            "entries": len(self._index),
+            "bytes": sum(meta.get("size", 0) for meta in self._index.values()),
+            "max_disk_entries": self.max_disk_entries,
+        }
+
     def clear_memory(self) -> None:
         """Drop the in-memory layer (disk entries, if any, survive)."""
         self._memory.clear()
+
+
+# ---------------------------------------------------------------------------
+# maintenance CLI: python -m repro.engine.cache
+# ---------------------------------------------------------------------------
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Maintain a long-lived shared cache directory from the shell.
+
+    ``stats DIR`` prints the indexed entry count and byte total;
+    ``compact DIR`` re-scans the shards, drops corrupt/orphaned files
+    and rebuilds the index, optionally applying an LRU bound with
+    ``--max-entries N``.  Both print a JSON report to stdout.
+    """
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.engine.cache",
+        description="Inspect and maintain an on-disk evaluation cache.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    p_stats = sub.add_parser(
+        "stats", help="print entry count, byte total and eviction bound")
+    p_stats.add_argument("directory", help="cache directory")
+    p_compact = sub.add_parser(
+        "compact", help="re-scan shards, rebuild the index, enforce bounds")
+    p_compact.add_argument("directory", help="cache directory")
+    p_compact.add_argument("--max-entries", type=int, default=None,
+                           help="evict least-recently-used entries beyond "
+                                "this count during the compact")
+    args = parser.parse_args(argv)
+
+    if not Path(args.directory).is_dir():
+        print(json.dumps({"error": "no-such-directory",
+                          "directory": args.directory}))
+        return 2
+    cache = EvaluationCache(
+        directory=args.directory,
+        max_disk_entries=getattr(args, "max_entries", None),
+    )
+    report: dict[str, object] = {"command": args.command}
+    if args.command == "compact":
+        report["entries_after_compact"] = cache.compact()
+        report["evictions"] = cache.stats.evictions
+    report.update(cache.disk_stats())
+    print(json.dumps(report, indent=2, sort_keys=True))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via main() tests
+    raise SystemExit(main())

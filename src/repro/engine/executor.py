@@ -23,6 +23,7 @@ toggle activity) reuse the built crossbar geometry and library.
 from __future__ import annotations
 
 import math
+import multiprocessing
 import os
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
@@ -76,6 +77,8 @@ class SerialExecutor:
     name = "serial"
 
     def run(self, items: list[WorkItem]) -> list[EvaluatedPoint]:
+        """Evaluate ``items`` in order; every outcome keeps its live
+        :class:`~repro.core.comparison.SchemeComparison`."""
         results = []
         for item in items:
             comparison = compare_schemes(
@@ -89,18 +92,27 @@ class SerialExecutor:
 
 
 class ProcessExecutor:
-    """Fan work items out across a process pool, preserving order."""
+    """Fan work items out across a process pool, preserving order.
+
+    ``mp_start_method`` picks the multiprocessing start method for the
+    pool (``None`` = platform default).  Callers that invoke
+    :meth:`run` from a non-main thread — the evaluation service's
+    batch flushes — must use ``"spawn"``: forking a multithreaded
+    process can deadlock the children on locks held at fork time.
+    """
 
     name = "process"
 
     def __init__(self, max_workers: int | None = None,
-                 chunksize: int | None = None) -> None:
+                 chunksize: int | None = None,
+                 mp_start_method: str | None = None) -> None:
         if max_workers is not None and max_workers < 1:
             raise ConfigurationError("max_workers must be at least 1")
         if chunksize is not None and chunksize < 1:
             raise ConfigurationError("chunksize must be at least 1")
         self.max_workers = max_workers
         self.chunksize = chunksize
+        self.mp_start_method = mp_start_method
 
     def _resolved_workers(self, item_count: int) -> int:
         workers = self.max_workers or os.cpu_count() or 1
@@ -113,11 +125,15 @@ class ProcessExecutor:
         return max(1, math.ceil(item_count / (workers * 4)))
 
     def run(self, items: list[WorkItem]) -> list[EvaluatedPoint]:
+        """Evaluate ``items`` across the pool; results return in
+        submission order, carrying records only (no live comparison)."""
         if not items:
             return []
         workers = self._resolved_workers(len(items))
         chunksize = self._resolved_chunksize(len(items), workers)
-        with ProcessPoolExecutor(max_workers=workers) as pool:
+        context = (multiprocessing.get_context(self.mp_start_method)
+                   if self.mp_start_method is not None else None)
+        with ProcessPoolExecutor(max_workers=workers, mp_context=context) as pool:
             all_records = list(pool.map(_evaluate_work_item, items,
                                         chunksize=chunksize))
         return [EvaluatedPoint(records=records) for records in all_records]

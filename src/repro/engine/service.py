@@ -1,0 +1,808 @@
+"""Async evaluation service: one warm cache, many clients.
+
+A long-running :class:`EvaluationService` accepts *design-point queries*
+— dotted-path override dicts, the same vocabulary as
+:meth:`~repro.core.config.ExperimentConfig.with_overrides` — and answers
+them from a single shared :class:`~repro.engine.cache.EvaluationCache`.
+Misses are not evaluated one by one: they accumulate in a pending batch
+that is flushed through the pluggable executor (the ``run(items)``
+contract of :mod:`repro.engine.executor`) when either ``max_batch_size``
+points are waiting or ``flush_interval`` seconds have passed since the
+batch opened — so concurrent clients share both the cache *and* the
+multicore fan-out.  Identical in-flight points coalesce onto one
+evaluation: the second client awaits the first client's future instead
+of re-submitting the work.
+
+The service is exposed three ways:
+
+* **In-process async API** — ``await service.evaluate(overrides)``;
+* **HTTP** — :class:`EvaluationServer` speaks minimal HTTP/1.1 over
+  asyncio streams (no third-party dependency): ``POST /evaluate``,
+  ``GET /stats``, ``GET /paths``, ``GET /healthz``, with
+  :class:`ServiceClient` as the matching asyncio client;
+* **CLI** — ``python -m repro.engine.service --host H --port P
+  --cache-dir DIR --executor auto`` runs a standalone server.
+
+Request validation reuses :func:`~repro.core.paths.normalize_path`, so
+a malformed dotted path fails fast with a structured error naming the
+offending path (:class:`InvalidRequestError`), before anything is
+cached or fanned out.  See ``docs/serving.md`` for the protocol and the
+cache-sharing caveats.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import dataclasses
+import json
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass
+
+from ..core.config import ExperimentConfig
+from ..core.paths import normalize_path, path_registry_records, set_path
+from ..crossbar.factory import available_schemes
+from ..errors import ConfigurationError, ReproError
+from .cache import CachedEntry, EvaluationCache, point_key
+from .executor import ProcessExecutor, WorkItem, resolve_executor
+
+__all__ = [
+    "DEFAULT_PORT",
+    "InvalidRequestError",
+    "ServiceResult",
+    "ServiceStats",
+    "EvaluationService",
+    "EvaluationServer",
+    "ServiceClient",
+    "main",
+]
+
+#: Default TCP port of the HTTP front (an arbitrary unprivileged port).
+DEFAULT_PORT = 8351
+
+#: Largest request body the HTTP front will read, as a denial-of-service
+#: guard; a design-point query is a small JSON object.
+MAX_BODY_BYTES = 1 << 20
+
+#: Most header lines accepted per message, same rationale (each line is
+#: already length-bounded by the stream reader's 64 KiB limit).
+MAX_HEADER_LINES = 100
+
+
+class InvalidRequestError(ConfigurationError):
+    """A malformed design-point query, carrying a JSON-safe payload.
+
+    ``payload`` always holds an ``"error"`` code and a ``"message"``;
+    path problems add the offending ``"path"`` — so HTTP clients can
+    route on structure instead of parsing prose.
+    """
+
+    def __init__(self, message: str, payload: Mapping[str, object]) -> None:
+        super().__init__(message)
+        self.payload = dict(payload)
+        self.payload.setdefault("message", message)
+
+
+@dataclass(frozen=True)
+class ServiceResult:
+    """One answered design-point query.
+
+    ``from_cache`` is true for points served from the warm cache;
+    ``coalesced`` is true when the query attached to an identical
+    in-flight evaluation instead of submitting its own.
+    """
+
+    key: str
+    overrides: tuple[tuple[str, object], ...]
+    records: tuple[dict, ...]
+    from_cache: bool
+    coalesced: bool
+
+    def as_payload(self) -> dict:
+        """The JSON-safe response body the HTTP front sends."""
+        return {
+            "key": self.key,
+            "overrides": dict(self.overrides),
+            "records": [dict(record) for record in self.records],
+            "from_cache": self.from_cache,
+            "coalesced": self.coalesced,
+        }
+
+
+@dataclass
+class ServiceStats:
+    """Request accounting for one :class:`EvaluationService`."""
+
+    requests: int = 0
+    invalid_requests: int = 0
+    cache_hits: int = 0
+    coalesced: int = 0
+    evaluated: int = 0
+    batches: int = 0
+    largest_batch: int = 0
+    cache_write_failures: int = 0
+
+    def as_payload(self) -> dict:
+        """The JSON-safe stats body (service counters only).
+
+        Every counter field, by construction — a counter added to the
+        dataclass is automatically part of ``GET /stats``.
+        """
+        return dataclasses.asdict(self)
+
+
+@dataclass
+class _PendingPoint:
+    """One cache miss waiting in the current batch."""
+
+    key: str
+    config: ExperimentConfig
+    future: asyncio.Future
+
+
+class EvaluationService:
+    """Asyncio service answering design-point queries over one cache.
+
+    Parameters
+    ----------
+    base_config:
+        The configuration every query overrides (default: the paper's
+        point).
+    scheme_names / baseline_name:
+        The fixed scheme set and savings baseline every query is
+        evaluated against — part of the cache key, so they are
+        service-level, not per-request.
+    executor:
+        ``"serial"``, ``"process"``, ``"auto"``, or any object with a
+        ``run(items) -> results`` method; ``"auto"`` decides using
+        ``max_batch_size`` as the batch-size hint.
+    cache / cache_dir:
+        An existing :class:`EvaluationCache` to share, or a directory
+        for a disk-backed one; by default an in-memory cache that lives
+        as long as the service.
+    max_batch_size / flush_interval:
+        Misses flush through the executor when ``max_batch_size`` points
+        are pending, or ``flush_interval`` seconds after the first miss
+        joined the batch, whichever comes first.
+    """
+
+    def __init__(self, base_config: ExperimentConfig | None = None,
+                 scheme_names: Sequence[str] | None = None,
+                 baseline_name: str = "SC",
+                 executor: object = "serial",
+                 cache: EvaluationCache | None = None,
+                 cache_dir: object = None,
+                 max_batch_size: int = 16,
+                 flush_interval: float = 0.02,
+                 max_workers: int | None = None) -> None:
+        if max_batch_size < 1:
+            raise ConfigurationError("max_batch_size must be at least 1")
+        if flush_interval < 0:
+            raise ConfigurationError("flush_interval must be non-negative")
+        self.base_config = base_config if base_config is not None else ExperimentConfig()
+        names = list(scheme_names) if scheme_names is not None else available_schemes()
+        if baseline_name not in names:
+            raise ConfigurationError(
+                f"baseline {baseline_name!r} must be among the evaluated schemes {names}"
+            )
+        self.scheme_names = tuple(names)
+        self.baseline_name = baseline_name
+        if cache is not None and cache_dir is not None:
+            raise ConfigurationError("pass either cache or cache_dir, not both")
+        self.cache = cache if cache is not None else EvaluationCache(directory=cache_dir)
+        self.max_batch_size = max_batch_size
+        self.flush_interval = flush_interval
+        self.executor = resolve_executor(executor, point_count=max_batch_size,
+                                         max_workers=max_workers)
+        if (isinstance(self.executor, ProcessExecutor)
+                and self.executor.mp_start_method is None):
+            # Batches run from a flush worker thread; forking a
+            # multithreaded process there can deadlock the pool workers.
+            self.executor.mp_start_method = "spawn"
+        self.stats = ServiceStats()
+        self._closed = False
+        self._pending: list[_PendingPoint] = []
+        self._in_flight: dict[str, asyncio.Future] = {}
+        self._flush_handle: asyncio.TimerHandle | None = None
+        self._flush_lock: asyncio.Lock | None = None
+        self._flush_tasks: set[asyncio.Task] = set()
+
+    # -- request validation ------------------------------------------------------
+    def canonical_overrides(self, overrides: object) -> dict[str, object]:
+        """Validate a query's overrides and canonicalise its paths.
+
+        Every key must resolve through
+        :func:`~repro.core.paths.normalize_path`; failures raise
+        :class:`InvalidRequestError` whose payload names the offending
+        path.  Returns ``{canonical path: value}``.
+        """
+        if not isinstance(overrides, Mapping):
+            raise InvalidRequestError(
+                f"overrides must be an object of config-path: value pairs, "
+                f"got {type(overrides).__name__}",
+                {"error": "invalid-overrides"},
+            )
+        canonical: dict[str, object] = {}
+        for name, value in overrides.items():
+            if not isinstance(name, str):
+                raise InvalidRequestError(
+                    f"config paths must be strings, got {name!r}",
+                    {"error": "invalid-path", "path": repr(name)},
+                )
+            try:
+                path = normalize_path(name)
+            except ConfigurationError as exc:
+                raise InvalidRequestError(
+                    f"unknown config path {name!r}",
+                    {"error": "unknown-path", "path": name, "message": str(exc)},
+                ) from exc
+            if path in canonical:
+                raise InvalidRequestError(
+                    f"override {name!r} duplicates config path {path!r}",
+                    {"error": "duplicate-path", "path": path},
+                )
+            canonical[path] = value
+        return canonical
+
+    def _config_for(self, canonical: Mapping[str, object]) -> ExperimentConfig:
+        """Apply canonical overrides one path at a time, so a rejected
+        value (e.g. a probability outside ``[0, 1]``) is attributed to
+        the path that carried it."""
+        config = self.base_config
+        for path, value in canonical.items():
+            try:
+                config = set_path(config, path, value)
+            except ReproError as exc:
+                raise InvalidRequestError(
+                    f"invalid value for {path!r}: {exc}",
+                    {"error": "invalid-value", "path": path, "message": str(exc)},
+                ) from exc
+        return config
+
+    # -- the query path ----------------------------------------------------------
+    async def evaluate(self, overrides: Mapping[str, object]) -> ServiceResult:
+        """Answer one design-point query, cheapest way possible.
+
+        Cache hits return immediately; a miss joins the pending batch
+        (flushed by size or by the flush window) and a miss identical to
+        an in-flight point awaits that point's future instead of
+        re-evaluating.  Raises :class:`InvalidRequestError` for
+        malformed overrides and after :meth:`stop`.
+        """
+        self.stats.requests += 1
+        if self._closed:
+            self.stats.invalid_requests += 1
+            raise InvalidRequestError("service is stopped",
+                                      {"error": "service-stopped"})
+        try:
+            canonical = self.canonical_overrides(overrides)
+            config = self._config_for(canonical)
+        except InvalidRequestError:
+            self.stats.invalid_requests += 1
+            raise
+        items = tuple(canonical.items())
+        key = point_key(config, self.scheme_names, self.baseline_name)
+
+        entry = self.cache.get(key)
+        if entry is not None:
+            self.stats.cache_hits += 1
+            return ServiceResult(key=key, overrides=items,
+                                 records=tuple(entry.records),
+                                 from_cache=True, coalesced=False)
+
+        existing = self._in_flight.get(key)
+        if existing is not None:
+            self.stats.coalesced += 1
+            entry = await existing
+            return ServiceResult(key=key, overrides=items,
+                                 records=tuple(entry.records),
+                                 from_cache=False, coalesced=True)
+
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+        self._in_flight[key] = future
+        self._pending.append(_PendingPoint(key=key, config=config, future=future))
+        if len(self._pending) == self.max_batch_size:
+            # Exactly the crossing point spawns the flush; arrivals beyond
+            # it are covered by that flush (it takes the whole pending
+            # list when it acquires the lock), so they spawn nothing.
+            self._cancel_flush_timer()
+            self._spawn_flush()
+        elif len(self._pending) < self.max_batch_size and self._flush_handle is None:
+            self._flush_handle = loop.call_later(self.flush_interval,
+                                                 self._on_flush_timer)
+        entry = await future
+        return ServiceResult(key=key, overrides=items,
+                             records=tuple(entry.records),
+                             from_cache=False, coalesced=False)
+
+    # -- batching ----------------------------------------------------------------
+    def _cancel_flush_timer(self) -> None:
+        if self._flush_handle is not None:
+            self._flush_handle.cancel()
+            self._flush_handle = None
+
+    def _on_flush_timer(self) -> None:
+        self._flush_handle = None
+        self._spawn_flush()
+
+    def _spawn_flush(self) -> None:
+        task = asyncio.get_running_loop().create_task(self._flush())
+        self._flush_tasks.add(task)
+        task.add_done_callback(self._flush_tasks.discard)
+
+    def _evaluate_and_persist(
+            self, batch: list[_PendingPoint]) -> tuple[list[CachedEntry], int]:
+        """Worker-thread half of a flush: evaluate the batch and write it
+        to the cache, returning the entries and the write-failure count.
+
+        Runs off the event loop so neither the evaluation nor the disk
+        persistence (per-entry writes plus the index flush — possibly on
+        slow storage) stalls connections.  Cache mutation from this
+        thread is safe against concurrent loop-side lookups: dict
+        operations are GIL-atomic, so a racing ``get`` can at worst miss
+        an entry mid-insert (costing a duplicate evaluation), never see
+        a corrupt structure.  A cache-write failure must not fail — let
+        alone hang — the query: the evaluation succeeded, the point just
+        is not memoised.
+        """
+        work = [WorkItem(config=point.config, scheme_names=self.scheme_names,
+                         baseline_name=self.baseline_name)
+                for point in batch]
+        outcomes = list(self.executor.run(work))
+        if len(outcomes) != len(batch):
+            # A pluggable executor violating the run(items) contract must
+            # fail the batch loudly — a silent short zip would strand the
+            # tail's futures forever.  RuntimeError, not a ReproError:
+            # this is a server fault, reported to HTTP clients as a 500.
+            raise RuntimeError(
+                f"executor {getattr(self.executor, 'name', self.executor)!r} "
+                f"returned {len(outcomes)} results for {len(batch)} items"
+            )
+        entries = []
+        write_failures = 0
+        for point, outcome in zip(batch, outcomes):
+            entry = CachedEntry(records=outcome.records,
+                                comparison=outcome.comparison)
+            try:
+                self.cache.put(point.key, entry)
+            except Exception:
+                write_failures += 1
+            entries.append(entry)
+        try:
+            self.cache.flush_index()
+        except OSError:
+            write_failures += 1
+        return entries, write_failures
+
+    async def _flush(self) -> None:
+        """Run the pending batch through the executor and settle futures.
+
+        Batches are serialised by a lock: misses arriving while one
+        batch evaluates accumulate into the next, which is exactly the
+        batching the executor wants.  Evaluation and cache persistence
+        happen in a worker thread (:meth:`_evaluate_and_persist`);
+        futures are settled and in-flight keys released back on the
+        loop, on success and failure alike.
+        """
+        if self._flush_lock is None:
+            self._flush_lock = asyncio.Lock()
+        async with self._flush_lock:
+            batch, self._pending = self._pending, []
+            if not batch:
+                return
+            self._cancel_flush_timer()
+            loop = asyncio.get_running_loop()
+            try:
+                entries, write_failures = await loop.run_in_executor(
+                    None, self._evaluate_and_persist, batch)
+            except Exception as exc:
+                for point in batch:
+                    self._in_flight.pop(point.key, None)
+                    if not point.future.done():
+                        point.future.set_exception(exc)
+                return
+            self.stats.cache_write_failures += write_failures
+            for point, entry in zip(batch, entries):
+                self._in_flight.pop(point.key, None)
+                if not point.future.done():
+                    point.future.set_result(entry)
+            self.stats.batches += 1
+            self.stats.evaluated += len(batch)
+            self.stats.largest_batch = max(self.stats.largest_batch, len(batch))
+
+    async def stop(self) -> None:
+        """Stop accepting queries, flush pending batches, persist the index.
+
+        Every query already awaiting a batch is answered before this
+        returns — shutdown never drops accepted work.
+        """
+        self._closed = True
+        self._cancel_flush_timer()
+        while self._pending or self._flush_tasks:
+            await self._flush()
+            if self._flush_tasks:
+                await asyncio.gather(*self._flush_tasks, return_exceptions=True)
+        try:
+            self.cache.flush_index()
+        except OSError:
+            self.stats.cache_write_failures += 1
+
+    def stats_payload(self) -> dict:
+        """Service, cache and batching configuration counters as JSON."""
+        return {
+            "service": self.stats.as_payload(),
+            "cache": {
+                "hits": self.cache.stats.hits,
+                "misses": self.cache.stats.misses,
+                "disk_hits": self.cache.stats.disk_hits,
+                "puts": self.cache.stats.puts,
+                "evictions": self.cache.stats.evictions,
+                "memory_evictions": self.cache.stats.memory_evictions,
+                "hit_rate": self.cache.stats.hit_rate,
+                "memory_entries": len(self.cache),
+            },
+            "config": {
+                "schemes": list(self.scheme_names),
+                "baseline": self.baseline_name,
+                "executor": getattr(self.executor, "name", type(self.executor).__name__),
+                "max_batch_size": self.max_batch_size,
+                "flush_interval": self.flush_interval,
+                "pending": len(self._pending),
+                "in_flight": len(self._in_flight),
+            },
+        }
+
+
+# ---------------------------------------------------------------------------
+# HTTP front: minimal HTTP/1.1 over asyncio streams
+# ---------------------------------------------------------------------------
+
+_STATUS_TEXT = {200: "OK", 400: "Bad Request", 404: "Not Found",
+                405: "Method Not Allowed", 413: "Payload Too Large",
+                500: "Internal Server Error"}
+
+
+def _encode_response(status: int, payload: dict, *, close: bool) -> bytes:
+    body = json.dumps(payload, sort_keys=True).encode("utf-8")
+    head = (
+        f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'OK')}\r\n"
+        f"Content-Type: application/json\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        f"Connection: {'close' if close else 'keep-alive'}\r\n"
+        f"\r\n"
+    ).encode("latin-1")
+    return head + body
+
+
+async def _read_http_message(reader: asyncio.StreamReader):
+    """Parse one HTTP request or response off ``reader``.
+
+    Returns ``(start_line, headers, body)`` with lower-cased header
+    names, or ``None`` at a clean end of stream.  Raises
+    :class:`ValueError` on a malformed message or an oversized body.
+    """
+    start_line = await reader.readline()
+    if not start_line:
+        return None
+    start = start_line.decode("latin-1").strip()
+    if not start:
+        raise ValueError("empty start line")
+    headers: dict[str, str] = {}
+    header_lines = 0
+    while True:
+        # Count lines read, not dict entries: repeated same-name headers
+        # overwrite one key and would otherwise bypass the bound.
+        header_lines += 1
+        if header_lines > MAX_HEADER_LINES:
+            raise ValueError("too many header lines")
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n"):
+            break
+        if not line:
+            raise ValueError("truncated headers")
+        name, sep, value = line.decode("latin-1").partition(":")
+        if not sep:
+            raise ValueError(f"malformed header line {line!r}")
+        headers[name.strip().lower()] = value.strip()
+    raw_length = headers.get("content-length", "0")
+    try:
+        length = int(raw_length)
+    except ValueError as exc:
+        raise ValueError(f"bad Content-Length {raw_length!r}") from exc
+    if length < 0 or length > MAX_BODY_BYTES:
+        raise ValueError(f"unacceptable Content-Length {length}")
+    body = await reader.readexactly(length) if length else b""
+    return start, headers, body
+
+
+class EvaluationServer:
+    """Thin HTTP front over an :class:`EvaluationService`.
+
+    Speaks just enough HTTP/1.1 (keep-alive, ``Content-Length`` bodies,
+    JSON in and out) for the bundled :class:`ServiceClient`, ``curl``
+    and standard HTTP libraries, with no dependency beyond asyncio
+    streams.  Port ``0`` binds an ephemeral port, readable from
+    :attr:`port` after :meth:`start`.
+    """
+
+    def __init__(self, service: EvaluationService, host: str = "127.0.0.1",
+                 port: int = DEFAULT_PORT) -> None:
+        self.service = service
+        self.host = host
+        self.port = port
+        self._server: asyncio.AbstractServer | None = None
+
+    async def start(self) -> "EvaluationServer":
+        """Bind and start serving; resolves :attr:`port` when it was 0."""
+        self._server = await asyncio.start_server(self._handle_connection,
+                                                  host=self.host, port=self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self
+
+    async def serve_forever(self) -> None:
+        """Serve until cancelled (the ``__main__`` entry point's loop)."""
+        assert self._server is not None, "call start() first"
+        await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        """Close the listening socket (the service itself keeps running)."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        try:
+            while True:
+                try:
+                    message = await _read_http_message(reader)
+                except (ValueError, asyncio.IncompleteReadError):
+                    writer.write(_encode_response(
+                        400, {"error": "malformed-request"}, close=True))
+                    await writer.drain()
+                    return
+                if message is None:
+                    return
+                start, headers, body = message
+                parts = start.split()
+                if len(parts) != 3:
+                    writer.write(_encode_response(
+                        400, {"error": "malformed-request"}, close=True))
+                    await writer.drain()
+                    return
+                method, target, version = parts
+                close = (headers.get("connection", "").lower() == "close"
+                         or version == "HTTP/1.0")
+                status, payload = await self._dispatch(method.upper(), target, body)
+                writer.write(_encode_response(status, payload, close=close))
+                await writer.drain()
+                if close:
+                    return
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _dispatch(self, method: str, target: str, body: bytes):
+        """Route one request; returns ``(status, JSON payload)``."""
+        target = target.split("?", 1)[0]
+        if target == "/evaluate":
+            if method != "POST":
+                return 405, {"error": "method-not-allowed", "target": target}
+            try:
+                request = json.loads(body.decode("utf-8")) if body else {}
+            except (UnicodeDecodeError, json.JSONDecodeError):
+                return 400, {"error": "invalid-json"}
+            if not isinstance(request, dict):
+                return 400, {"error": "invalid-json",
+                             "message": "request body must be a JSON object"}
+            overrides = request.get("overrides", {})
+            try:
+                result = await self.service.evaluate(overrides)
+            except InvalidRequestError as exc:
+                return 400, {"error": exc.payload.get("error", "invalid-request"),
+                             **exc.payload}
+            except ReproError as exc:
+                # Model-level rejection of the point (e.g. an unknown
+                # technology node only detected at evaluation time):
+                # still the client's value, still a 400.
+                return 400, {"error": "evaluation-failed", "message": str(exc)}
+            except Exception as exc:
+                # Server faults (executor contract violations, bugs)
+                # must not masquerade as client errors.
+                return 500, {"error": "internal-error", "message": str(exc)}
+            return 200, result.as_payload()
+        if method != "GET":
+            return 405, {"error": "method-not-allowed", "target": target}
+        if target == "/healthz":
+            return 200, {"status": "ok"}
+        if target == "/stats":
+            return 200, self.service.stats_payload()
+        if target == "/paths":
+            return 200, {"paths": path_registry_records()}
+        return 404, {"error": "unknown-endpoint", "target": target}
+
+
+class ServiceClient:
+    """Asyncio HTTP client for a running :class:`EvaluationServer`.
+
+    Opens one connection per call — simple and stateless; the batching
+    win comes from the server coalescing concurrent requests, not from
+    connection reuse.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = DEFAULT_PORT) -> None:
+        self.host = host
+        self.port = port
+
+    async def _request(self, method: str, target: str,
+                       payload: dict | None = None) -> tuple[int, dict]:
+        """One HTTP round-trip; returns ``(status, decoded JSON body)``."""
+        reader, writer = await asyncio.open_connection(self.host, self.port)
+        try:
+            body = b"" if payload is None else json.dumps(payload).encode("utf-8")
+            head = (
+                f"{method} {target} HTTP/1.1\r\n"
+                f"Host: {self.host}:{self.port}\r\n"
+                f"Content-Type: application/json\r\n"
+                f"Content-Length: {len(body)}\r\n"
+                f"Connection: close\r\n"
+                f"\r\n"
+            ).encode("latin-1")
+            writer.write(head + body)
+            await writer.drain()
+            message = await _read_http_message(reader)
+            if message is None:
+                raise ConnectionError("server closed the connection mid-response")
+            start, _headers, raw = message
+            status = int(start.split()[1])
+            return status, json.loads(raw.decode("utf-8")) if raw else {}
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def evaluate(self, overrides: Mapping[str, object]) -> dict:
+        """Evaluate one design point; returns the response payload.
+
+        Raises :class:`InvalidRequestError` (with the server's
+        structured payload) when the server rejects the query.
+        """
+        status, payload = await self._request("POST", "/evaluate",
+                                              {"overrides": dict(overrides)})
+        if status != 200:
+            raise InvalidRequestError(
+                str(payload.get("message", payload.get("error", "request failed"))),
+                payload,
+            )
+        return payload
+
+    async def stats(self) -> dict:
+        """The server's ``GET /stats`` payload."""
+        status, payload = await self._request("GET", "/stats")
+        if status != 200:
+            raise ConnectionError(f"GET /stats failed with status {status}")
+        return payload
+
+    async def paths(self) -> list[dict]:
+        """The sweepable-path registry served at ``GET /paths``."""
+        status, payload = await self._request("GET", "/paths")
+        if status != 200:
+            raise ConnectionError(f"GET /paths failed with status {status}")
+        return payload["paths"]
+
+    async def health(self) -> bool:
+        """True when ``GET /healthz`` answers ok."""
+        status, payload = await self._request("GET", "/healthz")
+        return status == 200 and payload.get("status") == "ok"
+
+
+# ---------------------------------------------------------------------------
+# CLI entry point: python -m repro.engine.service
+# ---------------------------------------------------------------------------
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.engine.service",
+        description="Serve design-point evaluations over HTTP, sharing one "
+                    "warm cache and batching misses through the executor.",
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    parser.add_argument("--port", type=int, default=DEFAULT_PORT,
+                        help=f"TCP port (0 = ephemeral; default {DEFAULT_PORT})")
+    parser.add_argument("--cache-dir", default=None,
+                        help="directory for the shared disk cache "
+                             "(default: in-memory only)")
+    parser.add_argument("--executor", default="auto",
+                        choices=["serial", "process", "auto"],
+                        help="how batched misses are evaluated")
+    parser.add_argument("--schemes", default=None,
+                        help="comma-separated scheme list (default: all)")
+    parser.add_argument("--baseline", default="SC", help="savings baseline scheme")
+    parser.add_argument("--batch-size", type=int, default=16,
+                        help="flush the miss batch at this many points")
+    parser.add_argument("--flush-interval", type=float, default=0.02,
+                        help="flush the miss batch after this many seconds")
+    parser.add_argument("--max-workers", type=int, default=None,
+                        help="process-executor worker bound")
+    parser.add_argument("--max-disk-entries", type=int, default=None,
+                        help="LRU bound on the disk cache entry count "
+                             "(requires --cache-dir)")
+    parser.add_argument("--max-memory-entries", type=int, default=None,
+                        help="LRU bound on the in-memory cache layer "
+                             "(default: unbounded; set it for long-lived "
+                             "servers fed unbounded point streams)")
+    return parser
+
+
+def service_from_args(args: argparse.Namespace) -> EvaluationService:
+    """Build the :class:`EvaluationService` an argv namespace describes."""
+    cache = None
+    if args.cache_dir is not None:
+        cache = EvaluationCache(directory=args.cache_dir,
+                                max_disk_entries=args.max_disk_entries,
+                                max_memory_entries=args.max_memory_entries)
+    elif args.max_disk_entries is not None:
+        raise ConfigurationError(
+            "--max-disk-entries bounds the disk store and needs --cache-dir; "
+            "use --max-memory-entries to bound the in-memory cache"
+        )
+    elif args.max_memory_entries is not None:
+        cache = EvaluationCache(max_memory_entries=args.max_memory_entries)
+    schemes = None
+    if args.schemes:
+        schemes = [name.strip() for name in args.schemes.split(",") if name.strip()]
+    return EvaluationService(
+        scheme_names=schemes,
+        baseline_name=args.baseline,
+        executor=args.executor,
+        cache=cache,
+        max_batch_size=args.batch_size,
+        flush_interval=args.flush_interval,
+        max_workers=args.max_workers,
+    )
+
+
+async def _serve(args: argparse.Namespace) -> None:
+    service = service_from_args(args)
+    server = EvaluationServer(service, host=args.host, port=args.port)
+    await server.start()
+    config = service.stats_payload()["config"]
+    print(f"evaluation service on http://{args.host}:{server.port} "
+          f"(schemes {config['schemes']}, executor {config['executor']}, "
+          f"batch<= {config['max_batch_size']}, "
+          f"window {config['flush_interval']}s)", flush=True)
+    try:
+        await server.serve_forever()
+    except asyncio.CancelledError:  # pragma: no cover - signal-driven exit
+        pass
+    finally:
+        await server.stop()
+        await service.stop()
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Run a standalone evaluation server until interrupted."""
+    import sys
+
+    args = _build_parser().parse_args(argv)
+    try:
+        asyncio.run(_serve(args))
+    except KeyboardInterrupt:
+        pass
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    raise SystemExit(main())

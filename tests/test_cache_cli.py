@@ -1,0 +1,64 @@
+"""Tests for the cache maintenance CLI (python -m repro.engine.cache)."""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+from repro.engine.cache import CachedEntry, EvaluationCache
+from repro.engine.cache import main as cache_main
+
+
+def _fill(directory, count: int) -> EvaluationCache:
+    cache = EvaluationCache(directory=directory)
+    for i in range(count):
+        key = hashlib.sha256(f"point-{i}".encode()).hexdigest()
+        cache.put(key, CachedEntry(records=[{"scheme": "SC", "i": i}]))
+    cache.flush_index()
+    return cache
+
+
+def test_stats_reports_entries_and_bytes(tmp_path, capsys):
+    _fill(tmp_path / "cache", 5)
+    assert cache_main(["stats", str(tmp_path / "cache")]) == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report["command"] == "stats"
+    assert report["entries"] == 5
+    assert report["bytes"] > 0
+    assert report["max_disk_entries"] is None
+
+
+def test_stats_on_missing_directory_fails_cleanly(tmp_path, capsys):
+    assert cache_main(["stats", str(tmp_path / "nope")]) == 2
+    report = json.loads(capsys.readouterr().out)
+    assert report["error"] == "no-such-directory"
+
+
+def test_compact_drops_corrupt_entries_and_strays(tmp_path, capsys):
+    directory = tmp_path / "cache"
+    _fill(directory, 4)
+    shard = directory / "ab"
+    shard.mkdir(exist_ok=True)
+    (shard / ("ab" + "0" * 62 + ".json")).write_text("{not json",
+                                                     encoding="utf-8")
+    (shard / "stray.json.tmp").write_text("x", encoding="utf-8")
+
+    assert cache_main(["compact", str(directory)]) == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report["entries_after_compact"] == 4
+    assert not (shard / ("ab" + "0" * 62 + ".json")).exists()
+    assert not (shard / "stray.json.tmp").exists()
+
+
+def test_compact_applies_eviction_bound(tmp_path, capsys):
+    directory = tmp_path / "cache"
+    _fill(directory, 6)
+    assert cache_main(["compact", str(directory), "--max-entries", "2"]) == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report["entries_after_compact"] == 2
+    assert report["evictions"] == 4
+    assert report["max_disk_entries"] == 2
+
+    # The survivors are still readable through a fresh cache instance.
+    reopened = EvaluationCache(directory=directory)
+    assert reopened.disk_stats()["entries"] == 2

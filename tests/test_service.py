@@ -1,0 +1,499 @@
+"""Tests for the async evaluation service (engine/service.py).
+
+Covers the ISSUE-3 edge cases — duplicate in-flight queries coalescing
+onto one evaluation, malformed dotted paths earning structured errors
+that name the path, shutdown flushing pending batches — plus the HTTP
+front, the client, cache sharing across service instances and the CLI
+argument plumbing.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.engine import EvaluationCache, SerialExecutor
+from repro.engine.service import (
+    EvaluationServer,
+    EvaluationService,
+    InvalidRequestError,
+    ServiceClient,
+    _build_parser,
+    service_from_args,
+)
+from repro.engine.service import main as service_main
+
+SCHEMES = ["SC", "SDPC"]
+
+
+class RecordingExecutor:
+    """Serial executor that records every batch it is handed."""
+
+    name = "recording"
+
+    def __init__(self):
+        self.batches: list[list] = []
+        self._inner = SerialExecutor()
+
+    def run(self, items):
+        self.batches.append(list(items))
+        return self._inner.run(items)
+
+
+def make_service(**kwargs) -> EvaluationService:
+    kwargs.setdefault("scheme_names", SCHEMES)
+    kwargs.setdefault("executor", "serial")
+    return EvaluationService(**kwargs)
+
+
+# ---------------------------------------------------------------------------
+# coalescing and batching
+# ---------------------------------------------------------------------------
+
+def test_duplicate_in_flight_queries_coalesce():
+    """Two identical concurrent queries trigger exactly one evaluation."""
+    executor = RecordingExecutor()
+
+    async def scenario():
+        service = make_service(executor=executor, max_batch_size=2,
+                               flush_interval=30.0)
+        point_a = {"static_probability": 0.3}
+        point_b = {"static_probability": 0.7}
+        # A, duplicate-A, B: the duplicate coalesces, so the pending
+        # batch holds two *distinct* points and flushes at size 2.
+        results = await asyncio.gather(
+            service.evaluate(point_a),
+            service.evaluate(point_a),
+            service.evaluate(point_b),
+        )
+        await service.stop()
+        return service, results
+
+    service, results = asyncio.run(scenario())
+    assert len(executor.batches) == 1
+    assert len(executor.batches[0]) == 2  # A evaluated once, not twice
+    assert service.stats.coalesced == 1
+    assert service.stats.evaluated == 2
+    first, twin, other = results
+    assert twin.coalesced and not twin.from_cache
+    assert not first.coalesced and not first.from_cache
+    assert twin.key == first.key
+    assert twin.records == first.records
+    assert other.key != first.key
+
+
+def test_repeat_after_completion_is_a_cache_hit():
+    async def scenario():
+        service = make_service(max_batch_size=1)
+        miss = await service.evaluate({"static_probability": 0.4})
+        hit = await service.evaluate({"static_probability": 0.4})
+        await service.stop()
+        return service, miss, hit
+
+    service, miss, hit = asyncio.run(scenario())
+    assert not miss.from_cache and hit.from_cache
+    assert hit.records == miss.records
+    assert service.stats.cache_hits == 1
+
+
+def test_alias_and_dotted_spellings_share_one_cache_entry():
+    async def scenario():
+        service = make_service(max_batch_size=1)
+        dotted = await service.evaluate({"crossbar.port_count": 3})
+        alias = await service.evaluate({"port_count": 3})
+        await service.stop()
+        return dotted, alias
+
+    dotted, alias = asyncio.run(scenario())
+    assert alias.key == dotted.key
+    assert alias.from_cache
+    assert dict(alias.overrides) == {"crossbar.port_count": 3}
+
+
+def test_flush_window_flushes_partial_batches():
+    """A batch smaller than max_batch_size flushes after the window."""
+    executor = RecordingExecutor()
+
+    async def scenario():
+        service = make_service(executor=executor, max_batch_size=64,
+                               flush_interval=0.01)
+        result = await service.evaluate({"toggle_activity": 0.2})
+        await service.stop()
+        return result
+
+    result = asyncio.run(scenario())
+    assert not result.from_cache
+    assert len(executor.batches) == 1
+    assert len(executor.batches[0]) == 1
+
+
+# ---------------------------------------------------------------------------
+# structured validation errors
+# ---------------------------------------------------------------------------
+
+def test_malformed_dotted_path_names_the_path():
+    async def scenario():
+        service = make_service()
+        with pytest.raises(InvalidRequestError) as excinfo:
+            await service.evaluate({"crossbar.portcount": 5})
+        await service.stop()
+        return excinfo.value
+
+    error = asyncio.run(scenario())
+    assert error.payload["error"] == "unknown-path"
+    assert error.payload["path"] == "crossbar.portcount"
+    assert "message" in error.payload
+
+
+def test_invalid_value_names_the_path():
+    async def scenario():
+        service = make_service()
+        with pytest.raises(InvalidRequestError) as excinfo:
+            await service.evaluate({"static_probability": 1.5})
+        await service.stop()
+        return excinfo.value
+
+    error = asyncio.run(scenario())
+    assert error.payload["error"] == "invalid-value"
+    assert error.payload["path"] == "static_probability"
+
+
+def test_duplicate_paths_and_bad_shapes_are_rejected():
+    async def scenario():
+        service = make_service()
+        payloads = []
+        for overrides in ({"port_count": 3, "crossbar.port_count": 5},
+                          ["static_probability", 0.5],
+                          {3: 0.5}):
+            with pytest.raises(InvalidRequestError) as excinfo:
+                await service.evaluate(overrides)
+            payloads.append(excinfo.value.payload)
+        await service.stop()
+        return payloads
+
+    duplicate, non_mapping, non_string = asyncio.run(scenario())
+    assert duplicate["error"] == "duplicate-path"
+    assert duplicate["path"] == "crossbar.port_count"
+    assert non_mapping["error"] == "invalid-overrides"
+    assert non_string["error"] == "invalid-path"
+
+
+def test_invalid_requests_do_not_reach_the_cache():
+    async def scenario():
+        service = make_service()
+        with pytest.raises(InvalidRequestError):
+            await service.evaluate({"no.such.path": 1})
+        await service.stop()
+        return service
+
+    service = asyncio.run(scenario())
+    assert service.stats.invalid_requests == 1
+    assert service.cache.stats.lookups == 0
+
+
+# ---------------------------------------------------------------------------
+# shutdown semantics
+# ---------------------------------------------------------------------------
+
+def test_shutdown_flushes_pending_batches():
+    """Queries accepted before stop() are answered, never dropped."""
+    executor = RecordingExecutor()
+
+    async def scenario():
+        service = make_service(executor=executor, max_batch_size=64,
+                               flush_interval=30.0)
+        tasks = [asyncio.create_task(
+                     service.evaluate({"static_probability": p}))
+                 for p in (0.2, 0.8)]
+        await asyncio.sleep(0)  # let both misses join the pending batch
+        assert len(service._pending) == 2
+        await service.stop()
+        results = await asyncio.gather(*tasks)
+        return service, results
+
+    service, results = asyncio.run(scenario())
+    assert [len(batch) for batch in executor.batches] == [2]
+    assert all(len(result.records) == len(SCHEMES) for result in results)
+    assert service.stats.evaluated == 2
+
+
+def test_queries_after_stop_are_rejected():
+    async def scenario():
+        service = make_service()
+        await service.stop()
+        with pytest.raises(InvalidRequestError) as excinfo:
+            await service.evaluate({"static_probability": 0.5})
+        return excinfo.value
+
+    error = asyncio.run(scenario())
+    assert error.payload["error"] == "service-stopped"
+
+
+# ---------------------------------------------------------------------------
+# HTTP front and client
+# ---------------------------------------------------------------------------
+
+def test_http_round_trip_and_structured_http_errors():
+    async def scenario():
+        service = make_service(max_batch_size=4, flush_interval=0.01)
+        server = await EvaluationServer(service, port=0).start()
+        client = ServiceClient("127.0.0.1", server.port)
+
+        assert await client.health()
+        answer = await client.evaluate({"crossbar.port_count": 3})
+        repeat = await client.evaluate({"port_count": 3})
+
+        with pytest.raises(InvalidRequestError) as excinfo:
+            await client.evaluate({"crossbar.portcount": 5})
+        error_payload = excinfo.value.payload
+
+        stats = await client.stats()
+        paths = await client.paths()
+
+        status_404, not_found = await client._request("GET", "/nope")
+        status_405, wrong_method = await client._request("GET", "/evaluate")
+
+        await server.stop()
+        await service.stop()
+        return (answer, repeat, error_payload, stats, paths,
+                status_404, not_found, status_405, wrong_method)
+
+    (answer, repeat, error_payload, stats, paths,
+     status_404, not_found, status_405, wrong_method) = asyncio.run(scenario())
+    assert answer["from_cache"] is False
+    assert {record["scheme"] for record in answer["records"]} == set(SCHEMES)
+    assert repeat["from_cache"] is True and repeat["key"] == answer["key"]
+    assert error_payload["error"] == "unknown-path"
+    assert error_payload["path"] == "crossbar.portcount"
+    assert stats["service"]["requests"] == 3
+    assert stats["config"]["schemes"] == SCHEMES
+    assert any(record["path"] == "crossbar.port_count" for record in paths)
+    assert status_404 == 404 and not_found["error"] == "unknown-endpoint"
+    assert status_405 == 405 and wrong_method["error"] == "method-not-allowed"
+
+
+def test_http_front_rejects_malformed_json_and_requests():
+    async def scenario():
+        service = make_service()
+        server = await EvaluationServer(service, port=0).start()
+
+        async def raw(data: bytes) -> bytes:
+            reader, writer = await asyncio.open_connection("127.0.0.1",
+                                                           server.port)
+            writer.write(data)
+            await writer.drain()
+            response = await reader.read()
+            writer.close()
+            await writer.wait_closed()
+            return response
+
+        bad_json = await raw(
+            b"POST /evaluate HTTP/1.1\r\nContent-Length: 9\r\n"
+            b"Connection: close\r\n\r\nnot json!")
+        bad_request = await raw(b"garbage\r\n\r\n")
+
+        await server.stop()
+        await service.stop()
+        return bad_json, bad_request
+
+    bad_json, bad_request = asyncio.run(scenario())
+    assert b"400" in bad_json.split(b"\r\n", 1)[0]
+    assert b"invalid-json" in bad_json
+    assert b"400" in bad_request.split(b"\r\n", 1)[0]
+
+
+# ---------------------------------------------------------------------------
+# cache sharing and CLI plumbing
+# ---------------------------------------------------------------------------
+
+def test_service_instances_share_a_disk_cache(tmp_path):
+    cache_dir = tmp_path / "service-cache"
+
+    async def first():
+        service = make_service(cache_dir=cache_dir, max_batch_size=1)
+        result = await service.evaluate({"static_probability": 0.35})
+        await service.stop()
+        return result
+
+    async def second():
+        service = make_service(cache_dir=cache_dir, max_batch_size=1)
+        result = await service.evaluate({"static_probability": 0.35})
+        await service.stop()
+        return service, result
+
+    cold = asyncio.run(first())
+    service, warm = asyncio.run(second())
+    assert not cold.from_cache and warm.from_cache
+    assert warm.records == cold.records
+    assert service.cache.stats.disk_hits == 1
+
+
+def test_cache_write_failure_still_answers_the_query(tmp_path):
+    """A failing cache.put must not hang the batch's futures (the
+    evaluation succeeded; the point simply is not memoised)."""
+
+    class FailingPutCache(EvaluationCache):
+        """Cache whose writes always fail."""
+
+        def put(self, key, entry):
+            raise OSError(28, "No space left on device")
+
+    async def scenario():
+        service = make_service(cache=FailingPutCache(), max_batch_size=1)
+        first = await asyncio.wait_for(
+            service.evaluate({"static_probability": 0.55}), timeout=10)
+        # The key must not be stranded in-flight: an identical follow-up
+        # query re-evaluates instead of awaiting a dead future.
+        second = await asyncio.wait_for(
+            service.evaluate({"static_probability": 0.55}), timeout=10)
+        await service.stop()
+        return service, first, second
+
+    service, first, second = asyncio.run(scenario())
+    assert first.records == second.records
+    assert service.stats.cache_write_failures >= 2
+    assert not service._in_flight
+
+
+def test_contract_violating_executor_fails_the_batch_loudly():
+    """An executor returning the wrong result count must error every
+    waiter instead of silently stranding the tail's futures."""
+
+    class ShortExecutor:
+        """Returns one result too few — a broken pluggable executor."""
+
+        name = "short"
+
+        def run(self, items):
+            return SerialExecutor().run(items)[:-1]
+
+    async def scenario():
+        service = make_service(executor=ShortExecutor(), max_batch_size=2,
+                               flush_interval=30.0)
+        results = await asyncio.gather(
+            asyncio.wait_for(
+                service.evaluate({"static_probability": 0.15}), timeout=10),
+            asyncio.wait_for(
+                service.evaluate({"static_probability": 0.85}), timeout=10),
+            return_exceptions=True,
+        )
+        await service.stop()
+        return service, results
+
+    service, results = asyncio.run(scenario())
+    assert all(isinstance(result, RuntimeError) for result in results)
+    assert all("returned 1 results for 2 items" in str(result)
+               for result in results)
+    assert not service._in_flight  # keys released: later queries re-evaluate
+
+
+def test_executor_fault_is_a_500_over_http():
+    """Server faults must not masquerade as client errors."""
+
+    class BrokenExecutor:
+        """Always violates the run(items) contract."""
+
+        name = "broken"
+
+        def run(self, items):
+            return []
+
+    async def scenario():
+        service = make_service(executor=BrokenExecutor(), max_batch_size=1)
+        server = await EvaluationServer(service, port=0).start()
+        client = ServiceClient("127.0.0.1", server.port)
+        status, payload = await client._request(
+            "POST", "/evaluate", {"overrides": {"static_probability": 0.5}})
+        await server.stop()
+        await service.stop()
+        return status, payload
+
+    status, payload = asyncio.run(scenario())
+    assert status == 500
+    assert payload["error"] == "internal-error"
+
+
+def test_service_uses_spawn_for_process_pools():
+    """Pools are created from a flush worker thread, where fork is unsafe."""
+    from repro.engine import ProcessExecutor
+
+    service = make_service(executor="process")
+    assert isinstance(service.executor, ProcessExecutor)
+    assert service.executor.mp_start_method == "spawn"
+    # Engine-side default is untouched: main-thread forking stays cheap.
+    assert ProcessExecutor().mp_start_method is None
+
+
+def test_memory_bound_keeps_the_service_cache_finite():
+    async def scenario():
+        cache = EvaluationCache(max_memory_entries=2)
+        service = make_service(cache=cache, max_batch_size=1)
+        for probability in (0.1, 0.2, 0.3, 0.4):
+            await service.evaluate({"static_probability": probability})
+        await service.stop()
+        return service
+
+    service = asyncio.run(scenario())
+    assert len(service.cache) == 2
+    assert service.cache.stats.memory_evictions == 2
+
+
+def test_http_front_bounds_header_count():
+    async def scenario():
+        service = make_service()
+        server = await EvaluationServer(service, port=0).start()
+        reader, writer = await asyncio.open_connection("127.0.0.1", server.port)
+        writer.write(b"GET /healthz HTTP/1.1\r\n")
+        for i in range(200):  # far beyond MAX_HEADER_LINES
+            writer.write(b"x%d: y\r\n" % i)
+        writer.write(b"\r\n")
+        await writer.drain()
+        response = await asyncio.wait_for(reader.read(), timeout=10)
+        writer.close()
+        await writer.wait_closed()
+        await server.stop()
+        await service.stop()
+        return response
+
+    response = asyncio.run(scenario())
+    assert b"400" in response.split(b"\r\n", 1)[0]
+    assert b"malformed-request" in response
+
+
+def test_max_disk_entries_without_cache_dir_is_rejected():
+    args = _build_parser().parse_args(["--max-disk-entries", "10"])
+    with pytest.raises(Exception, match="cache-dir"):
+        service_from_args(args)
+    assert service_main(["--max-disk-entries", "10"]) == 2
+
+
+def test_cli_args_build_the_described_service(tmp_path):
+    args = _build_parser().parse_args([
+        "--schemes", "SC,SDPC", "--baseline", "SC", "--executor", "serial",
+        "--cache-dir", str(tmp_path / "cli-cache"), "--max-disk-entries", "9",
+        "--batch-size", "5", "--flush-interval", "0.5",
+    ])
+    service = service_from_args(args)
+    assert service.scheme_names == ("SC", "SDPC")
+    assert service.max_batch_size == 5
+    assert service.flush_interval == 0.5
+    assert isinstance(service.executor, SerialExecutor)
+    assert isinstance(service.cache, EvaluationCache)
+    assert service.cache.max_disk_entries == 9
+    assert (tmp_path / "cli-cache").is_dir()
+
+
+def test_stats_payload_is_json_safe():
+    async def scenario():
+        service = make_service(max_batch_size=1)
+        await service.evaluate({"static_probability": 0.6})
+        payload = service.stats_payload()
+        await service.stop()
+        return payload
+
+    payload = asyncio.run(scenario())
+    round_tripped = json.loads(json.dumps(payload))
+    assert round_tripped["service"]["evaluated"] == 1
+    assert round_tripped["config"]["executor"] == "serial"
