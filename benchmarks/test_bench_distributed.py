@@ -1,0 +1,89 @@
+"""Distributed executor smoke: a 2-worker localhost fleet.
+
+Runs a small grid through a :class:`DistributedExecutor` spawning two
+local worker processes over loopback TCP sockets, verifies the results
+are bit-identical to the serial executor and that *both* workers took
+items, and measures points/second end-to-end (including worker spawn
+and registration — the honest figure for short fleets).  Under
+``REPRO_BENCH_GATE=1`` the ``distributed_*`` keys are merged into
+``BENCH_engine.json`` and a record is appended to
+``BENCH_history.json`` next to the engine and service trends.
+
+Honesty note: on the 1-CPU CI container two workers time-slice one
+core, so distributed points/sec sits *below* serial — the wire and
+registration overhead is what this smoke tracks there.  Multi-host
+speedups need multiple machines (or at least cores), which is exactly
+why the figure is recorded next to ``cpu_count``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro import DesignSpace, Evaluator, paper_experiment
+from repro.engine import DistributedExecutor
+
+GATE_ENABLED = os.environ.get("REPRO_BENCH_GATE") == "1"
+
+SCHEMES = ["SC", "SDPC"]
+GRID = {"static_probability": [0.1, 0.2, 0.3, 0.4, 0.6, 0.7, 0.8, 0.9]}
+
+
+def test_distributed_two_worker_smoke(benchmark, bench_store):
+    """2-worker loopback fleet: parity with serial, both workers busy,
+    end-to-end throughput recorded as distributed_* keys."""
+    space = DesignSpace.grid(GRID)
+
+    with Evaluator(base_config=paper_experiment(), scheme_names=SCHEMES,
+                   executor="serial") as serial:
+        serial_results = serial.evaluate(space)
+
+    def measure():
+        executor = DistributedExecutor(spawn_workers=2, min_workers=2)
+        with Evaluator(base_config=paper_experiment(), scheme_names=SCHEMES,
+                       executor=executor) as evaluator:
+            start = time.perf_counter()
+            results = evaluator.evaluate(space)
+            elapsed = time.perf_counter() - start
+            fleet = executor.stats_payload()
+            executor.close()
+        return results, elapsed, fleet
+
+    results, elapsed, fleet = benchmark.pedantic(measure, rounds=1,
+                                                 iterations=1)
+
+    # Parity with the serial path, in submission order.
+    assert [p.records for p in results] == [p.records for p in serial_results]
+    per_worker = {worker_id: info["completed"]
+                  for worker_id, info in fleet["workers"].items()}
+    assert fleet["workers_registered"] == 2
+    assert sum(per_worker.values()) == len(space)
+    assert all(count > 0 for count in per_worker.values()), \
+        f"both workers should take items, got {per_worker}"
+
+    points = len(space)
+    payload = {
+        "distributed_workers": 2,
+        "distributed_grid_points": points,
+        "distributed_seconds": elapsed,
+        "distributed_points_per_second": points / elapsed,
+        "distributed_redispatched": fleet["redispatched"],
+        "distributed_per_worker_completed": per_worker,
+    }
+    print()
+    print(f"distributed smoke ({points} points, 2 spawned workers, "
+          f"{os.cpu_count()} cpu):")
+    print(f"  end-to-end: {payload['distributed_points_per_second']:8.1f} "
+          f"points/s ({elapsed * 1e3:.0f} ms incl. spawn + registration)")
+    print(f"  fan-out   : {per_worker}")
+
+    if not GATE_ENABLED:
+        return
+
+    bench_store.merge(payload)
+    bench_store.append_history({
+        "bench": "distributed",
+        "cpu_count": os.cpu_count(),
+        "distributed_points_per_second": payload["distributed_points_per_second"],
+    })

@@ -24,6 +24,15 @@ from repro.engine import EvaluationServer, EvaluationService, ServiceClient
 
 GATE_ENABLED = os.environ.get("REPRO_BENCH_GATE") == "1"
 
+#: Fail the smoke when throughput drops below rolling-median/3 — the
+#: same margin as the engine gate (absorbs runner-to-runner noise,
+#: catches a hot path going off a cliff).
+REGRESSION_FACTOR = 3.0
+
+#: The q/s gate arms only once this many history records carry the
+#: metric: a single-sample baseline would gate on noise.
+MIN_GATE_RECORDS = 5
+
 SCHEMES = ["SC", "SDPC"]
 
 #: Evaluated up front, so their burst repeats are pure cache hits.
@@ -99,6 +108,27 @@ def test_service_load_smoke(benchmark, bench_store):
 
     if not GATE_ENABLED:
         return
+
+    # Throughput-regression gate, armed once the history holds enough
+    # records for a meaningful rolling median.  Runs BEFORE the new
+    # record is written, so a failing run cannot poison its own baseline.
+    history_values = [record["service_queries_per_second"]
+                      for record in bench_store.history()
+                      if isinstance(record.get("service_queries_per_second"),
+                                    (int, float))]
+    if len(history_values) >= MIN_GATE_RECORDS:
+        baseline = bench_store.rolling_baseline("service_queries_per_second")
+        floor = baseline / REGRESSION_FACTOR
+        print(f"  gate      : rolling-median baseline {baseline:.1f} q/s "
+              f"({len(history_values)} records), fail below {floor:.1f}")
+        assert queries_per_second >= floor, (
+            f"service throughput regressed more than "
+            f"{REGRESSION_FACTOR:.0f}x: {queries_per_second:.1f} q/s vs "
+            f"rolling-median baseline {baseline:.1f} (floor {floor:.1f})"
+        )
+    else:
+        print(f"  gate      : disarmed ({len(history_values)} of "
+              f"{MIN_GATE_RECORDS} history records)")
 
     bench_store.merge(payload)
     bench_store.append_history({

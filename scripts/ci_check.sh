@@ -19,17 +19,44 @@ fi
 echo "==> Tier-1 tests"
 PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m pytest -x -q
 
-echo "==> Engine + service benchmark smoke (gated vs BENCH_history.json rolling median)"
-REPRO_BENCH_GATE=1 PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m pytest benchmarks -q -k "engine or service" --benchmark-disable-gc
+echo "==> Engine + service + distributed benchmark smoke (gated vs BENCH_history.json rolling median)"
+REPRO_BENCH_GATE=1 PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m pytest benchmarks -q -k "engine or service or distributed" --benchmark-disable-gc
 
 echo "==> BENCH_engine.json"
 cat BENCH_engine.json
 
-echo "==> BENCH_history.json (last record)"
+echo "==> BENCH_history.json trend"
 python - <<'EOF'
 import json
+import statistics
+
 history = json.load(open("BENCH_history.json"))
 print(f"{len(history)} records; last: {json.dumps(history[-1], sort_keys=True)}")
+
+BLOCKS = "▁▂▃▄▅▆▇█"
+METRICS = ["serial_points_per_second", "service_queries_per_second",
+           "distributed_points_per_second"]
+
+
+def sparkline(values):
+    lo, hi = min(values), max(values)
+    if hi == lo:
+        return BLOCKS[3] * len(values)
+    scale = (len(BLOCKS) - 1) / (hi - lo)
+    return "".join(BLOCKS[int((v - lo) * scale)] for v in values)
+
+
+width = max(len(m) for m in METRICS)
+print(f"{'metric'.ljust(width)}  runs  {'median':>10}  {'last':>10}  trend")
+for metric in METRICS:
+    values = [r[metric] for r in history
+              if isinstance(r.get(metric), (int, float))]
+    if not values:
+        print(f"{metric.ljust(width)}     0           -           -  (no records)")
+        continue
+    print(f"{metric.ljust(width)}  {len(values):4d}  "
+          f"{statistics.median(values):10.1f}  {values[-1]:10.1f}  "
+          f"{sparkline(values[-20:])}")
 EOF
 
 echo "==> Example smoke: radix scaling (nested crossbar.port_count axes)"
@@ -37,5 +64,8 @@ python examples/radix_scaling.py > /dev/null
 
 echo "==> Example smoke: async serving round trip"
 python examples/serving.py > /dev/null
+
+echo "==> Example smoke: distributed fleet + journaled shared cache"
+python examples/distributed.py > /dev/null
 
 echo "==> CI gate passed"

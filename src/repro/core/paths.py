@@ -67,6 +67,15 @@ _PATH_NOTES: dict[str, str] = {
     "noc.bit_cell_width": "buffer bit-cell device width (buffer leakage)",
     "noc.gating_policy.idle_detect_cycles": "sleep-entry timeout of the gating policy",
     "noc.gating_policy.wakeup_cycles": "wake-up latency of the gating policy",
+    "noc.mesh_columns": "mesh width of the simulated network",
+    "noc.mesh_rows": "mesh height of the simulated network",
+    "noc.injection_rate": "offered load (flits/node/cycle) of the simulated traffic",
+    "noc.traffic_pattern": "spatial traffic pattern (uniform, transpose, bit_complement, hotspot)",
+    "noc.traffic_seed": "traffic generator seed (simulations are reproducible per seed)",
+    "noc.traffic_burst_on_fraction": "on/off burstiness (1.0 = steady; lower = longer idle bursts)",
+    "noc.traffic_burst_phase_length": "average burst phase length in cycles",
+    "noc.simulation_cycles": "measured simulation length in cycles",
+    "noc.warmup_cycles": "cycles discarded before measurement starts",
 }
 
 #: Suffix appended to paths that feed the *network-level* power model

@@ -3,13 +3,17 @@
 The engine generalises the single-parameter sweep to arbitrary grids
 and explicit point lists (:class:`DesignSpace`), memoises every
 evaluated point behind a content-addressed cache
-(:class:`EvaluationCache`), fans misses out serially or across a
-process pool (:mod:`repro.engine.executor`), and returns a queryable
+(:class:`EvaluationCache`), fans misses out serially, across a process
+pool, or across a TCP worker fleet
+(:mod:`repro.engine.executor` / :mod:`repro.engine.distributed` with
+``python -m repro.engine.worker`` workers), and returns a queryable
 :class:`ResultSet` (filtering, series extraction, Pareto fronts).
 For online use, :mod:`repro.engine.service` wraps the same cache and
 executor in a long-running asyncio service (HTTP front +
 :class:`ServiceClient`; run it with ``python -m repro.engine.service``),
-and ``python -m repro.engine.cache`` maintains long-lived disk caches.
+and ``python -m repro.engine.cache`` maintains long-lived disk caches —
+shareable across hosts via per-writer index journaling
+(``writer_id``).
 
 Axes are config paths: the flat ``ExperimentConfig`` scalars, dotted
 paths into the nested structure (``"crossbar.port_count"``,
@@ -40,33 +44,43 @@ from .executor import ProcessExecutor, SerialExecutor, resolve_executor
 from .grid import SWEEPABLE_FIELDS, DesignSpace, GridPoint
 from .resultset import PointResult, ResultSet
 
-#: Service symbols resolved lazily (PEP 562): ``python -m
-#: repro.engine.service`` must be able to execute the module as
-#: ``__main__`` without this package having imported it first (runpy
-#: warns about exactly that), and ``import repro`` stays light.
-_SERVICE_EXPORTS = frozenset({
-    "EvaluationServer",
-    "EvaluationService",
-    "InvalidRequestError",
-    "ServiceClient",
-    "ServiceResult",
-    "ServiceStats",
-})
+#: Service and distributed-layer symbols resolved lazily (PEP 562):
+#: ``python -m repro.engine.service`` / ``python -m repro.engine.worker``
+#: must be able to execute those modules as ``__main__`` without this
+#: package having imported them first (runpy warns about exactly that),
+#: and ``import repro`` stays light.
+_LAZY_EXPORTS = {
+    "EvaluationServer": "service",
+    "EvaluationService": "service",
+    "InvalidRequestError": "service",
+    "ServiceOverloadedError": "service",
+    "DeadlineExceededError": "service",
+    "ServiceClient": "service",
+    "ServiceResult": "service",
+    "ServiceStats": "service",
+    "DistributedExecutor": "distributed",
+    "DistributedStats": "distributed",
+}
 
 
 def __getattr__(name: str):
-    """Resolve the service-layer exports on first access."""
-    if name in _SERVICE_EXPORTS:
-        from . import service
+    """Resolve the service- and distributed-layer exports on first access."""
+    module_name = _LAZY_EXPORTS.get(name)
+    if module_name is not None:
+        import importlib
 
-        return getattr(service, name)
+        module = importlib.import_module(f".{module_name}", __name__)
+        return getattr(module, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 __all__ = [
     "CacheStats",
     "CachedEntry",
+    "DeadlineExceededError",
     "DesignSpace",
+    "DistributedExecutor",
+    "DistributedStats",
     "EvaluationCache",
     "EvaluationServer",
     "EvaluationService",
@@ -79,6 +93,7 @@ __all__ = [
     "SWEEPABLE_FIELDS",
     "SerialExecutor",
     "ServiceClient",
+    "ServiceOverloadedError",
     "ServiceResult",
     "ServiceStats",
     "describe_path",

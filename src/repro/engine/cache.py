@@ -27,6 +27,24 @@ bound); :meth:`EvaluationCache.compact` re-scans the shards, drops
 corrupt or orphaned files, rebuilds the index and enforces the bound in
 one sweep.  ``python -m repro.engine.cache stats|compact DIR`` exposes
 both to the shell for long-lived shared caches (see :func:`main`).
+
+Multi-writer journaling
+-----------------------
+``index.json`` is rewritten whole, so two processes writing the same
+directory (two services on a network mount, a coordinator next to an
+offline sweep) would race last-writer-wins on each other's bookkeeping.
+A cache opened with a ``writer_id`` therefore never rewrites
+``index.json``: it *appends* its puts and evictions, one JSON record
+per line, to its own ``index.<writer_id>.journal``.  Readers merge
+``index.json`` plus every journal at open, so each writer's entries are
+visible everywhere without any write contention; a line truncated by a
+crash mid-append is simply skipped (the entry itself is still found by
+the canonical shard probe and re-adopted).  :meth:`EvaluationCache.compact`
+folds the journals back into a rebuilt ``index.json`` and deletes them —
+run it periodically (or via the CLI) when writers are quiescent.  LRU
+recency across writers is approximate: per-writer sequence numbers only
+order entries within one journal, which can skew *which* entry a
+bounded cache evicts first, never correctness.
 """
 
 from __future__ import annotations
@@ -56,6 +74,12 @@ INDEX_FILENAME = "index.json"
 #: ``put`` rewrites the index at most once per this many entries; call
 #: :meth:`EvaluationCache.flush_index` at batch boundaries for the rest.
 INDEX_WRITE_INTERVAL = 64
+
+#: Journal files of all writers sharing one directory.
+JOURNAL_GLOB = "index.*.journal"
+
+#: Writer ids become journal file names; keep them filesystem-safe.
+_WRITER_ID = re.compile(r"[A-Za-z0-9][A-Za-z0-9_.-]{0,63}")
 
 #: Keys matching this are content hashes, safe to use as file names and
 #: sharded by their own first two characters.
@@ -175,11 +199,18 @@ class EvaluationCache:
     service should set it so a scan over millions of distinct points
     cannot exhaust RAM; evicted entries remain served from disk when a
     directory is configured.
+
+    ``writer_id`` switches index persistence to per-writer journaling
+    (see the module docstring): this writer appends to
+    ``index.<writer_id>.journal`` instead of rewriting the shared
+    ``index.json``, making concurrent writers on one directory safe.
+    Every open still *merges* all journals it finds, writer id or not.
     """
 
     directory: Path | None = None
     max_disk_entries: int | None = None
     max_memory_entries: int | None = None
+    writer_id: str | None = None
     stats: CacheStats = field(default_factory=CacheStats)
 
     def __post_init__(self) -> None:
@@ -187,11 +218,20 @@ class EvaluationCache:
             raise ConfigurationError("max_disk_entries must be at least 1")
         if self.max_memory_entries is not None and self.max_memory_entries < 1:
             raise ConfigurationError("max_memory_entries must be at least 1")
+        if self.writer_id is not None:
+            if self.directory is None:
+                raise ConfigurationError("writer_id requires a cache directory")
+            if not _WRITER_ID.fullmatch(self.writer_id):
+                raise ConfigurationError(
+                    f"writer_id {self.writer_id!r} must be 1-64 characters of "
+                    "[A-Za-z0-9_.-] and start alphanumeric"
+                )
         self._memory: dict[str, CachedEntry] = {}
         self._index: dict[str, dict] = {}
         self._sequence = 0
         self._index_dirty = False
         self._puts_since_index_write = 0
+        self._journal_pending: list[dict] = []
         self._legacy_possible = False
         if self.directory is not None:
             self.directory = Path(self.directory)
@@ -230,32 +270,83 @@ class EvaluationCache:
         path = Path(name)
         return not path.is_absolute() and ".." not in path.parts
 
+    @property
+    def _journal_path(self) -> Path:
+        assert self.directory is not None and self.writer_id is not None
+        return self.directory / f"index.{self.writer_id}.journal"
+
+    @staticmethod
+    def _sanitised_meta(meta: object) -> dict | None:
+        """A clean ``{file, size, seq}`` dict, or ``None`` for garbage."""
+        if not (isinstance(meta, dict) and isinstance(meta.get("file"), str)):
+            return None
+        if not EvaluationCache._sane_index_file(meta["file"]):
+            return None
+        seq = meta.get("seq", 0)
+        size = meta.get("size", 0)
+        return {
+            "file": meta["file"],
+            "size": size if isinstance(size, int) else 0,
+            "seq": seq if isinstance(seq, int) else 0,
+        }
+
+    def _merge_journals(self, loaded: dict[str, dict]) -> None:
+        """Apply every writer's journal to ``loaded``, in journal-name
+        order then line order.  Journals are as untrusted as the index:
+        malformed lines — including the half-written line a crash
+        mid-append leaves behind — are skipped."""
+        assert self.directory is not None
+        for journal in sorted(self.directory.glob(JOURNAL_GLOB)):
+            try:
+                text = journal.read_text(encoding="utf-8")
+            except OSError:
+                continue
+            for line in text.splitlines():
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    continue
+                if not isinstance(record, dict):
+                    continue
+                key = record.get("key")
+                if not isinstance(key, str):
+                    continue
+                op = record.get("op", "put")
+                if op == "del":
+                    loaded.pop(key, None)
+                    continue
+                if op != "put":
+                    continue
+                meta = self._sanitised_meta(record)
+                if meta is not None:
+                    loaded[key] = meta
+
     def _load_index(self) -> None:
-        """Best-effort load: the index is untrusted — malformed entries
-        are dropped and a corrupt file is simply ignored (``get`` probes
-        the canonical shard path anyway, and :meth:`compact` rebuilds)."""
+        """Best-effort load of ``index.json`` plus every writer journal:
+        the index is untrusted — malformed entries are dropped and a
+        corrupt file is simply ignored (``get`` probes the canonical
+        shard path anyway, and :meth:`compact` rebuilds)."""
+        loaded: dict[str, dict] = {}
         try:
             payload = json.loads(self._index_path.read_text(encoding="utf-8"))
             entries = payload["entries"]
         except (OSError, json.JSONDecodeError, KeyError, TypeError):
+            entries = {}
+        if isinstance(entries, dict):
+            for key, meta in entries.items():
+                meta = self._sanitised_meta(meta)
+                if meta is not None:
+                    loaded[key] = meta
+        self._merge_journals(loaded)
+        if not loaded:
             return
-        if not isinstance(entries, dict):
-            return
-        loaded: dict[str, dict] = {}
-        for key, meta in entries.items():
-            if not (isinstance(meta, dict) and isinstance(meta.get("file"), str)):
-                continue
-            if not self._sane_index_file(meta["file"]):
-                continue
-            seq = meta.get("seq", 0)
-            size = meta.get("size", 0)
-            loaded[key] = {
-                "file": meta["file"],
-                "size": size if isinstance(size, int) else 0,
-                "seq": seq if isinstance(seq, int) else 0,
-            }
         # The in-memory index is kept in recency order (oldest first) so
         # eviction is O(1); restore that invariant from the stored seqs.
+        # Across writers the per-journal seqs interleave arbitrarily —
+        # recency is approximate, which only biases LRU choice.
         self._index = dict(sorted(loaded.items(), key=lambda kv: kv[1]["seq"]))
         self._sequence = max(
             (meta["seq"] for meta in self._index.values()), default=0
@@ -270,6 +361,31 @@ class EvaluationCache:
         self._index_dirty = False
         self._puts_since_index_write = 0
 
+    def _append_journal(self) -> None:
+        """Flush buffered put/del records to this writer's journal.
+
+        Append-only and line-framed: concurrent writers each own their
+        file, and a reader that races an append at worst skips the
+        still-partial last line."""
+        if not self._journal_pending:
+            return
+        lines = "".join(json.dumps(record, sort_keys=True) + "\n"
+                        for record in self._journal_pending)
+        with open(self._journal_path, "a", encoding="utf-8") as handle:
+            handle.write(lines)
+        self._journal_pending.clear()
+        self._puts_since_index_write = 0
+
+    def _persist_index(self) -> None:
+        """Write index state the way this cache's mode persists it:
+        journal appends for journaled writers, an ``index.json`` rewrite
+        otherwise."""
+        if self.writer_id is not None:
+            self._append_journal()
+            self._index_dirty = False
+        else:
+            self._write_index()
+
     def flush_index(self) -> None:
         """Persist the index if it has unwritten changes.
 
@@ -278,9 +394,10 @@ class EvaluationCache:
         owners — the evaluator, or anything driving many puts — call
         this once at the end.  A stale index is never a correctness
         problem (``get`` probes the canonical shard path regardless), it
-        only costs the probe."""
+        only costs the probe.  Journaled writers append their buffered
+        records instead of rewriting the shared ``index.json``."""
         if self.directory is not None and self._index_dirty:
-            self._write_index()
+            self._persist_index()
 
     def _migrate_flat_layout(self) -> None:
         """Move flat ``<key>.json`` files written by the PR-1 layout into
@@ -302,7 +419,8 @@ class EvaluationCache:
             self._remember_entry(key, target)
             moved = True
         if moved:
-            self._write_index()
+            self._index_dirty = True
+            self._persist_index()
 
     def _remember_entry(self, key: str, path: Path) -> None:
         assert self.directory is not None
@@ -313,11 +431,14 @@ class EvaluationCache:
             size = 0
         # Pop-then-insert keeps the index dict in recency order.
         self._index.pop(key, None)
-        self._index[key] = {
+        meta = {
             "file": path.relative_to(self.directory).as_posix(),
             "size": size,
             "seq": self._sequence,
         }
+        self._index[key] = meta
+        if self.writer_id is not None:
+            self._journal_pending.append({"op": "put", "key": key, **meta})
 
     # -- lookups -----------------------------------------------------------------
     def _read_records(self, path: Path, key: str) -> list[dict] | None:
@@ -415,7 +536,7 @@ class EvaluationCache:
             self._index_dirty = True
             self._puts_since_index_write += 1
             if self._puts_since_index_write >= INDEX_WRITE_INTERVAL:
-                self._write_index()
+                self._persist_index()
 
     # -- maintenance -------------------------------------------------------------
     def _evict_to_bound(self) -> None:
@@ -430,6 +551,8 @@ class EvaluationCache:
             victim = next(iter(self._index))
             self._index.pop(victim)
             self.stats.evictions += 1
+            if self.writer_id is not None:
+                self._journal_pending.append({"op": "del", "key": victim})
             # Unlink the victim's *canonical* location, never the index's
             # stored path: a corrupt/hostile index entry could otherwise
             # aim eviction at index.json or another key's valid file.
@@ -441,7 +564,14 @@ class EvaluationCache:
     def compact(self) -> int:
         """Re-scan the shards: drop corrupt entries and stray temp files,
         rebuild the index from what is actually on disk (preserving known
-        recency), enforce the size bound, and return the entry count."""
+        recency), enforce the size bound, fold every writer's journal back
+        into the rebuilt ``index.json`` (the journals are then deleted),
+        and return the entry count.
+
+        Run it when writers are quiescent: a writer appending while its
+        journal is folded away loses only recency bookkeeping — its entry
+        files are still on disk and are re-adopted by the next lookup or
+        compact."""
         if self.directory is None:
             return 0
         old_seq = {key: meta.get("seq", 0) for key, meta in self._index.items()}
@@ -476,23 +606,38 @@ class EvaluationCache:
             (meta["seq"] for meta in self._index.values()), default=self._sequence
         )
         self._evict_to_bound()
+        # The fold: the rebuilt index.json now carries every journaled
+        # entry, so the journals themselves are spent.
+        self._journal_pending.clear()
         self._write_index()
+        for journal in self.directory.glob(JOURNAL_GLOB):
+            try:
+                journal.unlink()
+            except OSError:
+                pass
         return len(self._index)
 
     def disk_stats(self) -> dict:
         """Summary of the on-disk store, from the loaded index.
 
         Returns a JSON-safe dict with the cache ``directory``, indexed
-        ``entries``, their total ``bytes``, and the configured
-        ``max_disk_entries`` bound (``None`` = unbounded).  Counts what
-        the index knows about; run :meth:`compact` first for an exact
-        on-disk reconciliation.
+        ``entries``, their total ``bytes``, the configured
+        ``max_disk_entries`` bound (``None`` = unbounded), this writer's
+        ``writer_id`` (``None`` when not journaling) and the number of
+        ``journals`` currently on disk.  Counts what the index knows
+        about; run :meth:`compact` first for an exact on-disk
+        reconciliation.
         """
+        journals = 0
+        if self.directory is not None:
+            journals = sum(1 for _ in self.directory.glob(JOURNAL_GLOB))
         return {
             "directory": str(self.directory) if self.directory is not None else None,
             "entries": len(self._index),
             "bytes": sum(meta.get("size", 0) for meta in self._index.values()),
             "max_disk_entries": self.max_disk_entries,
+            "writer_id": self.writer_id,
+            "journals": journals,
         }
 
     def clear_memory(self) -> None:

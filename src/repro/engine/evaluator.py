@@ -16,7 +16,7 @@ from ..crossbar.factory import available_schemes
 from ..errors import ConfigurationError
 from .cache import CachedEntry, EvaluationCache, point_key
 from .grid import DesignSpace
-from .executor import WorkItem, resolve_executor
+from .executor import WorkItem, auto_executor_name, resolve_executor
 from .resultset import PointResult, ResultSet
 
 __all__ = ["Evaluator"]
@@ -35,8 +35,13 @@ class Evaluator:
         baseline — the same contract as
         :func:`~repro.core.comparison.compare_schemes`.
     executor:
-        ``"serial"``, ``"process"``, ``"auto"``, or any object with a
-        ``run(items) -> results`` method.
+        ``"serial"``, ``"process"``, ``"auto"``, ``"distributed"``, or
+        any object with a ``run(items) -> results`` method.  String
+        specs are resolved once and the instances reused across
+        :meth:`evaluate` calls, so process pools and distributed worker
+        fleets persist for the evaluator's lifetime; :meth:`close` (or
+        using the evaluator as a context manager) shuts owned executors
+        down.  Executor *objects* are borrowed, never closed.
     cache / cache_dir:
         An existing :class:`EvaluationCache` to share, or a directory
         for a new disk-backed one.  By default the evaluator keeps a
@@ -61,9 +66,48 @@ class Evaluator:
         self.baseline_name = baseline_name
         self.executor = executor
         self.max_workers = max_workers
+        #: Executors this evaluator built from string specs, by name —
+        #: reused across evaluate() calls and closed by close().
+        self._owned_executors: dict[str, object] = {}
         if cache is not None and cache_dir is not None:
             raise ConfigurationError("pass either cache or cache_dir, not both")
         self.cache = cache if cache is not None else EvaluationCache(directory=cache_dir)
+
+    def _resolve_executor(self, point_count: int):
+        """The executor for one batch: borrowed objects pass through;
+        string specs resolve to owned, session-persistent instances
+        (``"auto"`` still picks serial vs process per batch, but reuses
+        one process pool across every batch that goes parallel)."""
+        spec = self.executor
+        if hasattr(spec, "run"):
+            return spec
+        if spec == "auto":
+            spec = auto_executor_name(point_count)
+        if not isinstance(spec, str):
+            return resolve_executor(spec)  # raises the canonical error
+        owned = self._owned_executors.get(spec)
+        if owned is None:
+            owned = resolve_executor(spec, point_count=point_count,
+                                     max_workers=self.max_workers)
+            self._owned_executors[spec] = owned
+        return owned
+
+    def close(self) -> None:
+        """Shut down executors this evaluator owns (process pools,
+        distributed fleets); borrowed executor objects are untouched."""
+        owned, self._owned_executors = self._owned_executors, {}
+        for executor in owned.values():
+            close = getattr(executor, "close", None)
+            if callable(close):
+                close()
+
+    def __enter__(self) -> "Evaluator":
+        """Context-managed use: owned executors die with the block."""
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        """Close owned executors on exit."""
+        self.close()
 
     def evaluate(self, space: DesignSpace) -> ResultSet:
         """Evaluate every point of ``space``, cheapest way possible.
@@ -89,8 +133,7 @@ class Evaluator:
                 miss_indices_by_key.setdefault(keys[i], []).append(i)
         if miss_indices_by_key:
             unique_keys = list(miss_indices_by_key)
-            executor = resolve_executor(self.executor, point_count=len(unique_keys),
-                                        max_workers=self.max_workers)
+            executor = self._resolve_executor(point_count=len(unique_keys))
             items = [WorkItem(config=configs[miss_indices_by_key[key][0]],
                               scheme_names=self.scheme_names,
                               baseline_name=self.baseline_name)

@@ -1,6 +1,6 @@
 """Executor layer: how design points are fanned out.
 
-Three strategies share one interface:
+Four strategies share one interface:
 
 * ``serial`` — evaluate in-process, in order.  Keeps the live
   :class:`~repro.core.comparison.SchemeComparison` objects, which the
@@ -8,16 +8,24 @@ Three strategies share one interface:
 * ``process`` — fan out across cores with
   :class:`concurrent.futures.ProcessPoolExecutor`.  Work items travel as
   pickled frozen configs; results come back as the JSON-safe comparison
-  records, reassembled in submission order.
+  records, reassembled in submission order.  The pool is *persistent*:
+  it spins up on the first ``run`` and is reused by every subsequent
+  one until :meth:`ProcessExecutor.close` (or the context manager)
+  shuts it down — a service flushing batch after batch pays pool
+  start-up once, not per flush.
 * ``auto`` — ``process`` when the machine has more than one core and
   the batch is large enough to amortise pool start-up, else ``serial``.
+* ``distributed`` — fan out across *hosts* through
+  :class:`~repro.engine.distributed.DistributedExecutor` and its TCP
+  worker fleet (``python -m repro.engine.worker``).
 
 Work items carry fully-resolved nested configs, so they need no shared
 state to evaluate.  Within each process (the calling one for ``serial``,
-every pool worker for ``process``) scheme construction goes through the
-structural cache in :mod:`repro.core.scheme_evaluator`: consecutive
-items that differ only in non-structural scalars (static probability,
-toggle activity) reuse the built crossbar geometry and library.
+every pool worker for ``process``, every fleet worker for
+``distributed``) scheme construction goes through the structural cache
+in :mod:`repro.core.scheme_evaluator`: consecutive items that differ
+only in non-structural scalars (static probability, toggle activity)
+reuse the built crossbar geometry and library.
 """
 
 from __future__ import annotations
@@ -25,7 +33,7 @@ from __future__ import annotations
 import math
 import multiprocessing
 import os
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
 from dataclasses import dataclass
 
 from ..core.comparison import SchemeComparison, compare_schemes
@@ -33,7 +41,7 @@ from ..core.config import ExperimentConfig
 from ..errors import ConfigurationError
 
 __all__ = ["WorkItem", "EvaluatedPoint", "SerialExecutor", "ProcessExecutor",
-           "resolve_executor"]
+           "auto_executor_name", "resolve_executor"]
 
 #: Below this many misses, ``auto`` stays serial: pool start-up costs more
 #: than the evaluation itself.
@@ -92,13 +100,23 @@ class SerialExecutor:
 
 
 class ProcessExecutor:
-    """Fan work items out across a process pool, preserving order.
+    """Fan work items out across a persistent process pool, in order.
+
+    The pool is created lazily on the first :meth:`run` and *reused* by
+    every subsequent one — successive batches (an evaluator called in a
+    loop, the evaluation service's flushes) amortise worker start-up
+    and the per-worker structural cache across the whole session
+    instead of per batch.  :meth:`close` (or using the executor as a
+    context manager) shuts the pool down; a pool broken by a killed
+    worker process is discarded and rebuilt once per run.
 
     ``mp_start_method`` picks the multiprocessing start method for the
     pool (``None`` = platform default).  Callers that invoke
     :meth:`run` from a non-main thread — the evaluation service's
     batch flushes — must use ``"spawn"``: forking a multithreaded
     process can deadlock the children on locks held at fork time.
+    Changing it after the pool exists has no effect until the pool is
+    closed and rebuilt.
     """
 
     name = "process"
@@ -113,6 +131,7 @@ class ProcessExecutor:
         self.max_workers = max_workers
         self.chunksize = chunksize
         self.mp_start_method = mp_start_method
+        self._pool: ProcessPoolExecutor | None = None
 
     def _resolved_workers(self, item_count: int) -> int:
         workers = self.max_workers or os.cpu_count() or 1
@@ -124,6 +143,17 @@ class ProcessExecutor:
         # ~4 chunks per worker balances scheduling overhead against skew.
         return max(1, math.ceil(item_count / (workers * 4)))
 
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        """The live pool, created on first use at full worker strength
+        (idle workers are cheap; resizing per batch is not)."""
+        if self._pool is None:
+            context = (multiprocessing.get_context(self.mp_start_method)
+                       if self.mp_start_method is not None else None)
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.max_workers or os.cpu_count() or 1,
+                mp_context=context)
+        return self._pool
+
     def run(self, items: list[WorkItem]) -> list[EvaluatedPoint]:
         """Evaluate ``items`` across the pool; results return in
         submission order, carrying records only (no live comparison)."""
@@ -131,12 +161,40 @@ class ProcessExecutor:
             return []
         workers = self._resolved_workers(len(items))
         chunksize = self._resolved_chunksize(len(items), workers)
-        context = (multiprocessing.get_context(self.mp_start_method)
-                   if self.mp_start_method is not None else None)
-        with ProcessPoolExecutor(max_workers=workers, mp_context=context) as pool:
-            all_records = list(pool.map(_evaluate_work_item, items,
-                                        chunksize=chunksize))
+        try:
+            all_records = list(self._ensure_pool().map(
+                _evaluate_work_item, items, chunksize=chunksize))
+        except BrokenExecutor:
+            # A killed worker poisons the whole pool: rebuild it and give
+            # the batch one more chance before surfacing the failure.
+            self.close()
+            all_records = list(self._ensure_pool().map(
+                _evaluate_work_item, items, chunksize=chunksize))
         return [EvaluatedPoint(records=records) for records in all_records]
+
+    def close(self) -> None:
+        """Shut the pool down (a later :meth:`run` builds a fresh one)."""
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def __enter__(self) -> "ProcessExecutor":
+        """Context-managed use: the pool dies with the ``with`` block."""
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        """Close the pool on exit."""
+        self.close()
+
+
+def auto_executor_name(point_count: int) -> str:
+    """The ``"auto"`` policy in one place: ``"process"`` when the
+    machine is multicore and the batch is large enough to amortise the
+    pool, else ``"serial"``."""
+    cores = os.cpu_count() or 1
+    if cores > 1 and point_count >= AUTO_PROCESS_THRESHOLD:
+        return "process"
+    return "serial"
 
 
 def resolve_executor(spec: object, point_count: int = 0,
@@ -144,7 +202,11 @@ def resolve_executor(spec: object, point_count: int = 0,
     """Turn an executor spec into an executor instance.
 
     ``spec`` may be an executor object (anything with a ``run`` method)
-    or one of the strings ``"serial"``, ``"process"``, ``"auto"``.
+    or one of the strings ``"serial"``, ``"process"``, ``"auto"``,
+    ``"distributed"``.  The ``"distributed"`` shorthand builds a
+    loopback fleet that spawns ``max_workers`` (default: the core
+    count) local worker processes; multi-host topologies construct
+    :class:`~repro.engine.distributed.DistributedExecutor` directly.
     """
     if hasattr(spec, "run"):
         return spec
@@ -152,12 +214,15 @@ def resolve_executor(spec: object, point_count: int = 0,
         return SerialExecutor()
     if spec == "process":
         return ProcessExecutor(max_workers=max_workers)
+    if spec == "distributed":
+        from .distributed import DistributedExecutor
+
+        return DistributedExecutor(
+            spawn_workers=max_workers or os.cpu_count() or 1)
     if spec == "auto":
-        cores = os.cpu_count() or 1
-        if cores > 1 and point_count >= AUTO_PROCESS_THRESHOLD:
-            return ProcessExecutor(max_workers=max_workers)
-        return SerialExecutor()
+        return resolve_executor(auto_executor_name(point_count),
+                                max_workers=max_workers)
     raise ConfigurationError(
-        f"unknown executor {spec!r}; expected 'serial', 'process', 'auto' "
-        "or an object with a run() method"
+        f"unknown executor {spec!r}; expected 'serial', 'process', 'auto', "
+        "'distributed' or an object with a run() method"
     )

@@ -26,8 +26,14 @@ The service is exposed three ways:
 Request validation reuses :func:`~repro.core.paths.normalize_path`, so
 a malformed dotted path fails fast with a structured error naming the
 offending path (:class:`InvalidRequestError`), before anything is
-cached or fanned out.  See ``docs/serving.md`` for the protocol and the
-cache-sharing caveats.
+cached or fanned out.  Two guard rails keep a loaded service honest:
+``timeout_s`` on a query bounds how long the client waits (a structured
+``deadline-exceeded`` answer, HTTP 504, while the evaluation itself
+continues and still lands in the cache), and ``max_pending`` bounds the
+miss batch (overflow earns a structured ``overloaded`` answer, HTTP
+503, instead of an unbounded queue).  See ``docs/serving.md`` for the
+protocol and ``docs/distributed.md`` for running the service over a
+multi-host worker fleet (``--executor distributed``).
 """
 
 from __future__ import annotations
@@ -36,19 +42,22 @@ import argparse
 import asyncio
 import dataclasses
 import json
+import math
 from collections.abc import Mapping, Sequence
 from dataclasses import dataclass
 
 from ..core.config import ExperimentConfig
 from ..core.paths import normalize_path, path_registry_records, set_path
 from ..crossbar.factory import available_schemes
-from ..errors import ConfigurationError, ReproError
+from ..errors import ConfigurationError, DistributedError, ReproError
 from .cache import CachedEntry, EvaluationCache, point_key
 from .executor import ProcessExecutor, WorkItem, resolve_executor
 
 __all__ = [
     "DEFAULT_PORT",
     "InvalidRequestError",
+    "ServiceOverloadedError",
+    "DeadlineExceededError",
     "ServiceResult",
     "ServiceStats",
     "EvaluationService",
@@ -76,6 +85,41 @@ class InvalidRequestError(ConfigurationError):
     path problems add the offending ``"path"`` — so HTTP clients can
     route on structure instead of parsing prose.
     """
+
+    def __init__(self, message: str, payload: Mapping[str, object]) -> None:
+        super().__init__(message)
+        self.payload = dict(payload)
+        self.payload.setdefault("message", message)
+
+
+class ServiceOverloadedError(ReproError):
+    """The pending miss batch is full (``max_pending`` backpressure).
+
+    Not the client's fault and not a server bug: the service is shedding
+    load.  ``payload`` is the JSON-safe body the HTTP front answers with
+    (status :attr:`status`); clients should back off and retry.
+    """
+
+    #: HTTP status the front maps this error to.
+    status = 503
+
+    def __init__(self, message: str, payload: Mapping[str, object]) -> None:
+        super().__init__(message)
+        self.payload = dict(payload)
+        self.payload.setdefault("message", message)
+
+
+class DeadlineExceededError(ReproError):
+    """A query's ``timeout_s`` elapsed before its batch was answered.
+
+    The evaluation itself is *not* cancelled — it completes in its
+    batch and lands in the cache, so a retry is usually a cheap hit.
+    ``payload`` is the JSON-safe body the HTTP front answers with
+    (status :attr:`status`).
+    """
+
+    #: HTTP status the front maps this error to.
+    status = 504
 
     def __init__(self, message: str, payload: Mapping[str, object]) -> None:
         super().__init__(message)
@@ -121,6 +165,8 @@ class ServiceStats:
     batches: int = 0
     largest_batch: int = 0
     cache_write_failures: int = 0
+    deadline_exceeded: int = 0
+    rejected_overload: int = 0
 
     def as_payload(self) -> dict:
         """The JSON-safe stats body (service counters only).
@@ -164,6 +210,18 @@ class EvaluationService:
         Misses flush through the executor when ``max_batch_size`` points
         are pending, or ``flush_interval`` seconds after the first miss
         joined the batch, whichever comes first.
+    max_pending:
+        Backpressure bound: a fresh miss arriving while this many points
+        already wait in the pending batch is rejected with
+        :class:`ServiceOverloadedError` (HTTP 503) instead of growing
+        the queue without limit.  ``None`` (default) = unbounded.
+    default_timeout_s:
+        Deadline applied to queries that do not carry their own
+        ``timeout_s``; ``None`` (default) = wait indefinitely.
+    own_executor:
+        Whether :meth:`stop` should close the executor (process pools,
+        distributed fleets).  Default: the service owns executors it
+        resolved from string specs and borrows executor objects.
     """
 
     def __init__(self, base_config: ExperimentConfig | None = None,
@@ -174,11 +232,18 @@ class EvaluationService:
                  cache_dir: object = None,
                  max_batch_size: int = 16,
                  flush_interval: float = 0.02,
-                 max_workers: int | None = None) -> None:
+                 max_workers: int | None = None,
+                 max_pending: int | None = None,
+                 default_timeout_s: float | None = None,
+                 own_executor: bool | None = None) -> None:
         if max_batch_size < 1:
             raise ConfigurationError("max_batch_size must be at least 1")
         if flush_interval < 0:
             raise ConfigurationError("flush_interval must be non-negative")
+        if max_pending is not None and max_pending < 1:
+            raise ConfigurationError("max_pending must be at least 1")
+        if default_timeout_s is not None and default_timeout_s <= 0:
+            raise ConfigurationError("default_timeout_s must be positive")
         self.base_config = base_config if base_config is not None else ExperimentConfig()
         names = list(scheme_names) if scheme_names is not None else available_schemes()
         if baseline_name not in names:
@@ -192,8 +257,12 @@ class EvaluationService:
         self.cache = cache if cache is not None else EvaluationCache(directory=cache_dir)
         self.max_batch_size = max_batch_size
         self.flush_interval = flush_interval
+        self.max_pending = max_pending
+        self.default_timeout_s = default_timeout_s
         self.executor = resolve_executor(executor, point_count=max_batch_size,
                                          max_workers=max_workers)
+        self._own_executor = (own_executor if own_executor is not None
+                              else not hasattr(executor, "run"))
         if (isinstance(self.executor, ProcessExecutor)
                 and self.executor.mp_start_method is None):
             # Batches run from a flush worker thread; forking a
@@ -259,15 +328,55 @@ class EvaluationService:
                 ) from exc
         return config
 
+    def _resolve_timeout(self, timeout_s: object) -> float | None:
+        """Validate a query's deadline; fall back to the service default."""
+        if timeout_s is None:
+            return self.default_timeout_s
+        if (isinstance(timeout_s, bool) or not isinstance(timeout_s, (int, float))
+                or not math.isfinite(timeout_s) or timeout_s <= 0):
+            raise InvalidRequestError(
+                f"timeout_s must be a positive finite number, got {timeout_s!r}",
+                {"error": "invalid-timeout"},
+            )
+        return float(timeout_s)
+
+    async def _await_entry(self, future: "asyncio.Future[CachedEntry]",
+                           timeout_s: float | None, key: str) -> CachedEntry:
+        """Await a batch future, bounded by the query's deadline.
+
+        The future is shielded: a deadline abandons *this query's wait*,
+        never the shared evaluation — coalesced twins keep waiting and
+        the result still lands in the cache.
+        """
+        if timeout_s is None:
+            return await future
+        try:
+            return await asyncio.wait_for(asyncio.shield(future), timeout_s)
+        except asyncio.TimeoutError:
+            self.stats.deadline_exceeded += 1
+            # The abandoned future may have no other awaiter; retrieve its
+            # eventual exception so the loop never logs it as unconsumed.
+            future.add_done_callback(
+                lambda f: f.exception() if not f.cancelled() else None)
+            raise DeadlineExceededError(
+                f"evaluation exceeded the {timeout_s}s deadline",
+                {"error": "deadline-exceeded", "timeout_s": timeout_s,
+                 "key": key},
+            ) from None
+
     # -- the query path ----------------------------------------------------------
-    async def evaluate(self, overrides: Mapping[str, object]) -> ServiceResult:
+    async def evaluate(self, overrides: Mapping[str, object],
+                       timeout_s: float | None = None) -> ServiceResult:
         """Answer one design-point query, cheapest way possible.
 
         Cache hits return immediately; a miss joins the pending batch
         (flushed by size or by the flush window) and a miss identical to
         an in-flight point awaits that point's future instead of
-        re-evaluating.  Raises :class:`InvalidRequestError` for
-        malformed overrides and after :meth:`stop`.
+        re-evaluating.  ``timeout_s`` bounds the wait
+        (:class:`DeadlineExceededError`; the evaluation itself continues
+        and is cached).  Raises :class:`InvalidRequestError` for
+        malformed overrides and after :meth:`stop`, and
+        :class:`ServiceOverloadedError` when the pending batch is full.
         """
         self.stats.requests += 1
         if self._closed:
@@ -275,6 +384,7 @@ class EvaluationService:
             raise InvalidRequestError("service is stopped",
                                       {"error": "service-stopped"})
         try:
+            timeout_s = self._resolve_timeout(timeout_s)
             canonical = self.canonical_overrides(overrides)
             config = self._config_for(canonical)
         except InvalidRequestError:
@@ -293,10 +403,21 @@ class EvaluationService:
         existing = self._in_flight.get(key)
         if existing is not None:
             self.stats.coalesced += 1
-            entry = await existing
+            entry = await self._await_entry(existing, timeout_s, key)
             return ServiceResult(key=key, overrides=items,
                                  records=tuple(entry.records),
                                  from_cache=False, coalesced=True)
+
+        if self.max_pending is not None and len(self._pending) >= self.max_pending:
+            # Backpressure: shedding the query here keeps the pending
+            # batch — and therefore worst-case flush latency — bounded.
+            self.stats.rejected_overload += 1
+            raise ServiceOverloadedError(
+                f"pending batch is full ({len(self._pending)} of "
+                f"{self.max_pending} points waiting)",
+                {"error": "overloaded", "max_pending": self.max_pending,
+                 "pending": len(self._pending)},
+            )
 
         loop = asyncio.get_running_loop()
         future: asyncio.Future = loop.create_future()
@@ -311,7 +432,7 @@ class EvaluationService:
         elif len(self._pending) < self.max_batch_size and self._flush_handle is None:
             self._flush_handle = loop.call_later(self.flush_interval,
                                                  self._on_flush_timer)
-        entry = await future
+        entry = await self._await_entry(future, timeout_s, key)
         return ServiceResult(key=key, overrides=items,
                              records=tuple(entry.records),
                              from_cache=False, coalesced=False)
@@ -412,7 +533,9 @@ class EvaluationService:
             self.stats.largest_batch = max(self.stats.largest_batch, len(batch))
 
     async def stop(self) -> None:
-        """Stop accepting queries, flush pending batches, persist the index.
+        """Stop accepting queries, flush pending batches, persist the
+        index, and shut down an owned executor (process pool or
+        distributed fleet).
 
         Every query already awaiting a batch is answered before this
         returns — shutdown never drops accepted work.
@@ -427,6 +550,11 @@ class EvaluationService:
             self.cache.flush_index()
         except OSError:
             self.stats.cache_write_failures += 1
+        close = getattr(self.executor, "close", None)
+        if self._own_executor and callable(close):
+            # Pool teardown joins worker processes/threads; keep it off
+            # the event loop.
+            await asyncio.get_running_loop().run_in_executor(None, close)
 
     def stats_payload(self) -> dict:
         """Service, cache and batching configuration counters as JSON."""
@@ -448,6 +576,8 @@ class EvaluationService:
                 "executor": getattr(self.executor, "name", type(self.executor).__name__),
                 "max_batch_size": self.max_batch_size,
                 "flush_interval": self.flush_interval,
+                "max_pending": self.max_pending,
+                "default_timeout_s": self.default_timeout_s,
                 "pending": len(self._pending),
                 "in_flight": len(self._in_flight),
             },
@@ -460,7 +590,8 @@ class EvaluationService:
 
 _STATUS_TEXT = {200: "OK", 400: "Bad Request", 404: "Not Found",
                 405: "Method Not Allowed", 413: "Payload Too Large",
-                500: "Internal Server Error"}
+                500: "Internal Server Error", 503: "Service Unavailable",
+                504: "Gateway Timeout"}
 
 
 def _encode_response(status: int, payload: dict, *, close: bool) -> bytes:
@@ -604,10 +735,19 @@ class EvaluationServer:
                              "message": "request body must be a JSON object"}
             overrides = request.get("overrides", {})
             try:
-                result = await self.service.evaluate(overrides)
+                result = await self.service.evaluate(
+                    overrides, timeout_s=request.get("timeout_s"))
             except InvalidRequestError as exc:
                 return 400, {"error": exc.payload.get("error", "invalid-request"),
                              **exc.payload}
+            except (ServiceOverloadedError, DeadlineExceededError) as exc:
+                return exc.status, dict(exc.payload)
+            except DistributedError as exc:
+                # Fleet infrastructure failure (workers lost, registration
+                # timeout): the query was fine and a retry may succeed
+                # once workers return — a 503, never a client error.
+                return 503, {"error": "executor-unavailable",
+                             "message": str(exc)}
             except ReproError as exc:
                 # Model-level rejection of the point (e.g. an unknown
                 # technology node only detected at evaluation time):
@@ -670,14 +810,21 @@ class ServiceClient:
             except (ConnectionError, OSError):
                 pass
 
-    async def evaluate(self, overrides: Mapping[str, object]) -> dict:
+    async def evaluate(self, overrides: Mapping[str, object],
+                       timeout_s: float | None = None) -> dict:
         """Evaluate one design point; returns the response payload.
 
+        ``timeout_s`` rides along as the query's server-side deadline.
         Raises :class:`InvalidRequestError` (with the server's
-        structured payload) when the server rejects the query.
+        structured payload) when the server rejects the query — route on
+        ``payload["error"]`` to distinguish overload (``overloaded``)
+        and deadline (``deadline-exceeded``) answers from malformed
+        queries.
         """
-        status, payload = await self._request("POST", "/evaluate",
-                                              {"overrides": dict(overrides)})
+        body: dict[str, object] = {"overrides": dict(overrides)}
+        if timeout_s is not None:
+            body["timeout_s"] = timeout_s
+        status, payload = await self._request("POST", "/evaluate", body)
         if status != 200:
             raise InvalidRequestError(
                 str(payload.get("message", payload.get("error", "request failed"))),
@@ -722,8 +869,15 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="directory for the shared disk cache "
                              "(default: in-memory only)")
     parser.add_argument("--executor", default="auto",
-                        choices=["serial", "process", "auto"],
+                        choices=["serial", "process", "auto", "distributed"],
                         help="how batched misses are evaluated")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="spawn this many local worker processes "
+                             "(distributed executor only)")
+    parser.add_argument("--listen", default=None, metavar="HOST:PORT",
+                        help="where the distributed coordinator accepts "
+                             "external worker registrations "
+                             "(default 127.0.0.1:0; distributed only)")
     parser.add_argument("--schemes", default=None,
                         help="comma-separated scheme list (default: all)")
     parser.add_argument("--baseline", default="SC", help="savings baseline scheme")
@@ -740,7 +894,42 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="LRU bound on the in-memory cache layer "
                              "(default: unbounded; set it for long-lived "
                              "servers fed unbounded point streams)")
+    parser.add_argument("--writer-id", default=None,
+                        help="journal cache index writes under this id "
+                             "(multi-host shared caches; requires --cache-dir)")
+    parser.add_argument("--max-pending", type=int, default=None,
+                        help="reject fresh misses (HTTP 503) while this many "
+                             "points wait in the pending batch")
+    parser.add_argument("--default-timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="deadline applied to queries without their own "
+                             "timeout_s (HTTP 504 on expiry)")
     return parser
+
+
+def _executor_from_args(args: argparse.Namespace) -> object:
+    """The executor spec (string or instance) an argv namespace asks for."""
+    if args.executor != "distributed":
+        if args.workers is not None or args.listen is not None:
+            raise ConfigurationError(
+                "--workers/--listen configure the worker fleet and need "
+                "--executor distributed"
+            )
+        return args.executor
+    from .distributed import DistributedExecutor, parse_address
+
+    listen_host, listen_port = ("127.0.0.1", 0)
+    if args.listen is not None:
+        listen_host, listen_port = parse_address(args.listen)
+    spawn = args.workers if args.workers is not None else 0
+    if spawn == 0 and args.listen is None:
+        raise ConfigurationError(
+            "--executor distributed needs --workers N (spawn a local fleet) "
+            "and/or --listen HOST:PORT (accept external workers)"
+        )
+    return DistributedExecutor(host=listen_host, port=listen_port,
+                               spawn_workers=spawn,
+                               min_workers=max(1, spawn))
 
 
 def service_from_args(args: argparse.Namespace) -> EvaluationService:
@@ -749,11 +938,16 @@ def service_from_args(args: argparse.Namespace) -> EvaluationService:
     if args.cache_dir is not None:
         cache = EvaluationCache(directory=args.cache_dir,
                                 max_disk_entries=args.max_disk_entries,
-                                max_memory_entries=args.max_memory_entries)
+                                max_memory_entries=args.max_memory_entries,
+                                writer_id=getattr(args, "writer_id", None))
     elif args.max_disk_entries is not None:
         raise ConfigurationError(
             "--max-disk-entries bounds the disk store and needs --cache-dir; "
             "use --max-memory-entries to bound the in-memory cache"
+        )
+    elif getattr(args, "writer_id", None) is not None:
+        raise ConfigurationError(
+            "--writer-id journals the disk index and needs --cache-dir"
         )
     elif args.max_memory_entries is not None:
         cache = EvaluationCache(max_memory_entries=args.max_memory_entries)
@@ -763,11 +957,14 @@ def service_from_args(args: argparse.Namespace) -> EvaluationService:
     return EvaluationService(
         scheme_names=schemes,
         baseline_name=args.baseline,
-        executor=args.executor,
+        executor=_executor_from_args(args),
         cache=cache,
         max_batch_size=args.batch_size,
         flush_interval=args.flush_interval,
         max_workers=args.max_workers,
+        max_pending=getattr(args, "max_pending", None),
+        default_timeout_s=getattr(args, "default_timeout", None),
+        own_executor=True,
     )
 
 

@@ -65,3 +65,12 @@ class NocError(ReproError):
 
 class ConfigurationError(ReproError):
     """Raised when an experiment configuration is internally inconsistent."""
+
+
+class DistributedError(ReproError):
+    """Raised for distributed-execution failures.
+
+    Examples: a malformed or oversized wire frame, a worker registration
+    that never arrives, an item re-dispatched more times than allowed,
+    every worker lost while items are still outstanding.
+    """

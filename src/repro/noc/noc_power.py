@@ -26,15 +26,29 @@ from ..interconnect.repeater import optimal_repeaters
 from ..interconnect.wire import Wire
 from ..power.idle_time import analyse_minimum_idle_time
 from ..technology.transistor import Polarity, VtFlavor
-from .network import SimulationResult
+from .network import NetworkSimulator, SimulationResult
 from .power_gating import GatingPolicy
+from .topology import Mesh
+from .traffic import TrafficConfig, TrafficPattern
 
 __all__ = ["NocPowerConfig", "NetworkPowerReport", "NocPowerModel"]
 
 
 @dataclass(frozen=True)
 class NocPowerConfig:
-    """Architecture parameters of the power roll-up."""
+    """Architecture and workload parameters of the network level.
+
+    Beyond the power roll-up knobs, this carries the *simulated
+    workload*: mesh shape, traffic pattern/rate/seed and the simulation
+    length — so one :class:`~repro.core.config.ExperimentConfig` fully
+    describes a network-level experiment and every knob is sweepable as
+    a ``noc.*`` dotted path (benchmarks build their meshes and traffic
+    from these fields via :meth:`build_mesh` / :meth:`build_traffic` /
+    :meth:`simulate` instead of hard-coding constants).
+    ``traffic_pattern`` is the string value of a
+    :class:`~repro.noc.traffic.TrafficPattern` so the config tree stays
+    JSON-safe; hotspot traffic pins its hotspot to node ``(0, 0)``.
+    """
 
     buffer_depth: int = 4
     link_length: float = 1.0e-3
@@ -43,6 +57,15 @@ class NocPowerConfig:
     toggle_activity: float = 0.5
     gating_enabled: bool = True
     gating_policy: GatingPolicy = GatingPolicy()
+    mesh_columns: int = 4
+    mesh_rows: int = 4
+    injection_rate: float = 0.1
+    traffic_pattern: str = "uniform"
+    traffic_seed: int = 1
+    traffic_burst_on_fraction: float = 1.0
+    traffic_burst_phase_length: int = 50
+    simulation_cycles: int = 2000
+    warmup_cycles: int = 200
 
     def __post_init__(self) -> None:
         if self.buffer_depth < 1:
@@ -51,6 +74,41 @@ class NocPowerConfig:
             raise NocError("link length must be positive")
         if self.bit_cell_width <= 0:
             raise NocError("bit cell width must be positive")
+        if self.mesh_columns < 1 or self.mesh_rows < 1:
+            raise NocError("mesh dimensions must be positive")
+        patterns = [pattern.value for pattern in TrafficPattern]
+        if self.traffic_pattern not in patterns:
+            raise NocError(
+                f"unknown traffic pattern {self.traffic_pattern!r}; "
+                f"expected one of {patterns}"
+            )
+        if self.simulation_cycles < 1:
+            raise NocError("simulation must run at least one cycle")
+        if self.warmup_cycles < 0:
+            raise NocError("warm-up cannot be negative")
+
+    def build_mesh(self) -> "Mesh":
+        """The ``mesh_columns x mesh_rows`` mesh this config describes."""
+        return Mesh(self.mesh_columns, self.mesh_rows,
+                    buffer_depth=self.buffer_depth)
+
+    def build_traffic(self) -> TrafficConfig:
+        """The traffic workload this config describes (validated by
+        :class:`~repro.noc.traffic.TrafficConfig` itself)."""
+        pattern = TrafficPattern(self.traffic_pattern)
+        return TrafficConfig(
+            injection_rate=self.injection_rate,
+            pattern=pattern,
+            hotspot_node=(0, 0) if pattern is TrafficPattern.HOTSPOT else None,
+            burst_on_fraction=self.traffic_burst_on_fraction,
+            burst_phase_length=self.traffic_burst_phase_length,
+            seed=self.traffic_seed,
+        )
+
+    def simulate(self) -> SimulationResult:
+        """Run the described workload on the described mesh."""
+        return NetworkSimulator(self.build_mesh(), self.build_traffic()).run(
+            cycles=self.simulation_cycles, warmup_cycles=self.warmup_cycles)
 
 
 @dataclass(frozen=True)

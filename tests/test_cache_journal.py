@@ -1,0 +1,162 @@
+"""Multi-writer index journaling for the disk cache (ISSUE 4).
+
+Two writers sharing one directory must not clobber each other's index
+bookkeeping: with a ``writer_id`` each appends to its own
+``index.<id>.journal``, readers merge every journal at open, and
+``compact()`` folds the journals back into ``index.json``.  A crash
+mid-append leaves a truncated last line that readers must skip.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+import pytest
+
+from repro.engine import EvaluationCache
+from repro.engine.cache import CachedEntry, JOURNAL_GLOB
+from repro.errors import ConfigurationError
+
+
+def key_of(tag: str) -> str:
+    """A distinct, shard-friendly 64-hex key per tag."""
+    return hashlib.sha256(tag.encode("utf-8")).hexdigest()
+
+
+def put(cache: EvaluationCache, tag: str) -> str:
+    key = key_of(tag)
+    cache.put(key, CachedEntry(records=[{"scheme": "SC", "tag": tag}]))
+    return key
+
+
+class TestJournaledWriters:
+    def test_writer_id_requires_directory(self):
+        with pytest.raises(ConfigurationError, match="directory"):
+            EvaluationCache(writer_id="a")
+
+    def test_writer_id_must_be_filesystem_safe(self, tmp_path):
+        for bad in ("", "a/b", "../up", ".hidden", "x" * 65):
+            with pytest.raises(ConfigurationError):
+                EvaluationCache(directory=tmp_path, writer_id=bad)
+
+    def test_journaled_writer_appends_instead_of_rewriting_index(self, tmp_path):
+        writer = EvaluationCache(directory=tmp_path, writer_id="alpha")
+        put(writer, "one")
+        writer.flush_index()
+        assert (tmp_path / "index.alpha.journal").is_file()
+        assert not (tmp_path / "index.json").is_file()
+
+    def test_two_concurrent_writers_merge_on_read(self, tmp_path):
+        a = EvaluationCache(directory=tmp_path, writer_id="a")
+        b = EvaluationCache(directory=tmp_path, writer_id="b")
+        key_a = put(a, "from-a")
+        key_b = put(b, "from-b")
+        a.flush_index()
+        b.flush_index()
+
+        reader = EvaluationCache(directory=tmp_path)
+        stats = reader.disk_stats()
+        assert stats["entries"] == 2
+        assert stats["journals"] == 2
+        assert reader.get(key_a).records == [{"scheme": "SC", "tag": "from-a"}]
+        assert reader.get(key_b).records == [{"scheme": "SC", "tag": "from-b"}]
+
+    def test_compact_folds_journals_into_index_json(self, tmp_path):
+        a = EvaluationCache(directory=tmp_path, writer_id="a")
+        b = EvaluationCache(directory=tmp_path, writer_id="b")
+        keys = [put(a, "a1"), put(a, "a2"), put(b, "b1")]
+        a.flush_index()
+        b.flush_index()
+
+        maintainer = EvaluationCache(directory=tmp_path)
+        assert maintainer.compact() == 3
+        assert not list(tmp_path.glob(JOURNAL_GLOB))
+        index = json.loads((tmp_path / "index.json").read_text(encoding="utf-8"))
+        assert set(index["entries"]) == set(keys)
+
+        # A post-fold reader (no journals left) still sees everything.
+        reader = EvaluationCache(directory=tmp_path)
+        assert reader.disk_stats()["entries"] == 3
+        for key in keys:
+            assert reader.get(key) is not None
+
+    def test_crash_mid_journal_append_is_tolerated(self, tmp_path):
+        writer = EvaluationCache(directory=tmp_path, writer_id="w")
+        good = put(writer, "good")
+        writer.flush_index()
+        journal = tmp_path / "index.w.journal"
+        # Simulate a crash mid-append: a truncated record on the last line.
+        with open(journal, "a", encoding="utf-8") as handle:
+            handle.write('{"op": "put", "key": "deadbeefdeadbeef", "fi')
+
+        reader = EvaluationCache(directory=tmp_path)
+        assert reader.disk_stats()["entries"] == 1
+        assert reader.get(good) is not None
+
+    def test_journal_del_records_propagate_evictions(self, tmp_path):
+        writer = EvaluationCache(directory=tmp_path, writer_id="w",
+                                 max_disk_entries=1)
+        first = put(writer, "first")
+        second = put(writer, "second")
+        writer.flush_index()
+        assert writer.stats.evictions == 1
+
+        reader = EvaluationCache(directory=tmp_path)
+        assert reader.disk_stats()["entries"] == 1
+        assert reader.get(second) is not None
+        assert reader.get(first) is None
+
+    def test_hostile_journal_lines_are_ignored(self, tmp_path):
+        writer = EvaluationCache(directory=tmp_path, writer_id="w")
+        good = put(writer, "good")
+        writer.flush_index()
+        journal = tmp_path / "index.evil.journal"
+        journal.write_text(
+            "\n".join([
+                "not json at all",
+                json.dumps(["a", "list"]),
+                json.dumps({"op": "put", "key": 7, "file": "aa/x.json"}),
+                json.dumps({"op": "put", "key": "esc", "file": "../outside.json"}),
+                json.dumps({"op": "put", "key": "abs", "file": "/etc/passwd"}),
+                json.dumps({"op": "wipe", "key": good}),
+            ]) + "\n",
+            encoding="utf-8")
+
+        reader = EvaluationCache(directory=tmp_path)
+        assert set(reader._index) == {good}
+        assert reader.get(good) is not None
+
+    def test_journal_mode_survives_writer_restart(self, tmp_path):
+        first_session = EvaluationCache(directory=tmp_path, writer_id="w")
+        one = put(first_session, "one")
+        first_session.flush_index()
+
+        second_session = EvaluationCache(directory=tmp_path, writer_id="w")
+        assert second_session.get(one) is not None
+        two = put(second_session, "two")
+        second_session.flush_index()
+
+        reader = EvaluationCache(directory=tmp_path)
+        assert reader.disk_stats()["entries"] == 2
+        assert reader.get(one) is not None and reader.get(two) is not None
+
+    def test_disk_stats_reports_writer_and_journals(self, tmp_path):
+        writer = EvaluationCache(directory=tmp_path, writer_id="me")
+        put(writer, "x")
+        writer.flush_index()
+        stats = writer.disk_stats()
+        assert stats["writer_id"] == "me"
+        assert stats["journals"] == 1
+
+    def test_cli_compact_folds_journals(self, tmp_path, capsys):
+        from repro.engine.cache import main as cache_main
+
+        writer = EvaluationCache(directory=tmp_path, writer_id="w")
+        put(writer, "x")
+        writer.flush_index()
+        assert cache_main(["compact", str(tmp_path)]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["entries_after_compact"] == 1
+        assert report["journals"] == 0
+        assert not list(tmp_path.glob(JOURNAL_GLOB))

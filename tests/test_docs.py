@@ -16,11 +16,13 @@ import pytest
 
 import repro.engine as engine
 import repro.engine.cache
+import repro.engine.distributed
 import repro.engine.evaluator
 import repro.engine.executor
 import repro.engine.grid
 import repro.engine.resultset
 import repro.engine.service
+import repro.engine.worker
 import repro.core.paths
 
 REPO_ROOT = Path(__file__).resolve().parents[1]
@@ -60,7 +62,7 @@ def test_config_paths_doc_covers_every_sweepable_path():
 def test_readme_links_resolve():
     readme = (REPO_ROOT / "README.md").read_text(encoding="utf-8")
     for doc in ("docs/architecture.md", "docs/serving.md",
-                "docs/config_paths.md"):
+                "docs/config_paths.md", "docs/distributed.md"):
         assert doc in readme
         assert (REPO_ROOT / doc).is_file()
 
@@ -72,11 +74,13 @@ def test_readme_links_resolve():
 ENGINE_MODULES = [
     engine,
     repro.engine.cache,
+    repro.engine.distributed,
     repro.engine.evaluator,
     repro.engine.executor,
     repro.engine.grid,
     repro.engine.resultset,
     repro.engine.service,
+    repro.engine.worker,
     repro.core.paths,
 ]
 

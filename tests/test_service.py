@@ -15,6 +15,7 @@ import json
 import pytest
 
 from repro.engine import EvaluationCache, SerialExecutor
+from repro.errors import ConfigurationError
 from repro.engine.service import (
     EvaluationServer,
     EvaluationService,
@@ -497,3 +498,176 @@ def test_stats_payload_is_json_safe():
     round_tripped = json.loads(json.dumps(payload))
     assert round_tripped["service"]["evaluated"] == 1
     assert round_tripped["config"]["executor"] == "serial"
+
+
+# ---------------------------------------------------------------------------
+# hardening: per-request deadlines and pending-batch backpressure (ISSUE 4)
+# ---------------------------------------------------------------------------
+
+def test_deadline_exceeded_is_structured_and_does_not_drop_the_work():
+    from repro.engine.service import DeadlineExceededError
+
+    async def scenario():
+        # A huge flush window parks the miss; the deadline fires first.
+        service = make_service(max_batch_size=8, flush_interval=30.0)
+        with pytest.raises(DeadlineExceededError) as excinfo:
+            await service.evaluate({"static_probability": 0.3}, timeout_s=0.05)
+        payload = dict(excinfo.value.payload)
+        # The evaluation itself was not cancelled: stopping flushes it
+        # and the point lands in the cache for the retry.
+        await service.stop()
+        retry_entry_count = len(service.cache)
+        return service, payload, retry_entry_count
+
+    service, payload, cached = asyncio.run(scenario())
+    assert payload["error"] == "deadline-exceeded"
+    assert payload["timeout_s"] == 0.05
+    assert service.stats.deadline_exceeded == 1
+    assert cached == 1  # the timed-out point was still evaluated + cached
+
+
+def test_coalesced_queries_honour_their_own_deadline():
+    from repro.engine.service import DeadlineExceededError
+
+    async def scenario():
+        service = make_service(max_batch_size=8, flush_interval=30.0)
+        point = {"static_probability": 0.3}
+        patient = asyncio.create_task(service.evaluate(point))
+        await asyncio.sleep(0)  # let the miss join the batch
+        with pytest.raises(DeadlineExceededError):
+            await service.evaluate(point, timeout_s=0.05)
+        assert service.stats.coalesced == 1
+        await service.stop()  # flushes; the patient twin is answered
+        result = await patient
+        return service, result
+
+    service, result = asyncio.run(scenario())
+    assert result.records  # the patient query was answered normally
+    assert service.stats.deadline_exceeded == 1
+
+
+def test_invalid_timeout_is_a_structured_400():
+    async def scenario():
+        service = make_service()
+        for bad in (0, -1.0, float("nan"), float("inf"), "soon", True):
+            with pytest.raises(InvalidRequestError) as excinfo:
+                await service.evaluate({"static_probability": 0.5},
+                                       timeout_s=bad)
+            assert excinfo.value.payload["error"] == "invalid-timeout"
+        await service.stop()
+        return service
+
+    service = asyncio.run(scenario())
+    assert service.stats.invalid_requests == 6
+    assert len(service.cache) == 0  # nothing reached the batch
+
+
+def test_max_pending_backpressure_sheds_load_with_a_structured_503():
+    from repro.engine.service import ServiceOverloadedError
+
+    async def scenario():
+        service = make_service(max_batch_size=8, flush_interval=30.0,
+                               max_pending=1)
+        first = asyncio.create_task(
+            service.evaluate({"static_probability": 0.1}))
+        await asyncio.sleep(0)  # the first miss occupies the batch
+        with pytest.raises(ServiceOverloadedError) as excinfo:
+            await service.evaluate({"static_probability": 0.2})
+        payload = dict(excinfo.value.payload)
+        # An identical in-flight point still coalesces (no new slot).
+        duplicate = asyncio.create_task(
+            service.evaluate({"static_probability": 0.1}))
+        await asyncio.sleep(0)
+        await service.stop()
+        results = await asyncio.gather(first, duplicate)
+        return service, payload, results
+
+    service, payload, results = asyncio.run(scenario())
+    assert payload["error"] == "overloaded"
+    assert payload["max_pending"] == 1
+    assert service.stats.rejected_overload == 1
+    assert all(result.records for result in results)
+
+
+def test_http_front_maps_deadline_and_overload_statuses():
+    async def scenario():
+        service = make_service(max_batch_size=8, flush_interval=30.0,
+                               max_pending=1)
+        server = await EvaluationServer(service, port=0).start()
+        client = ServiceClient(port=server.port)
+        statuses = {}
+
+        async def raw(body):
+            reader, writer = await asyncio.open_connection("127.0.0.1",
+                                                           server.port)
+            payload = json.dumps(body).encode()
+            writer.write((f"POST /evaluate HTTP/1.1\r\nHost: x\r\n"
+                          f"Content-Length: {len(payload)}\r\n"
+                          f"Connection: close\r\n\r\n").encode() + payload)
+            await writer.drain()
+            line = await reader.readline()
+            writer.close()
+            return int(line.split()[1])
+
+        statuses["deadline"] = await raw(
+            {"overrides": {"static_probability": 0.3}, "timeout_s": 0.05})
+        statuses["overload"] = await raw(
+            {"overrides": {"static_probability": 0.4}})
+        statuses["timeout_shape"] = await raw(
+            {"overrides": {"static_probability": 0.5}, "timeout_s": "soon"})
+        await server.stop()
+        await service.stop()
+        return statuses
+
+    statuses = asyncio.run(scenario())
+    assert statuses["deadline"] == 504
+    assert statuses["overload"] == 503
+    assert statuses["timeout_shape"] == 400
+
+
+def test_cli_hardening_flags_are_plumbed(tmp_path):
+    args = _build_parser().parse_args([
+        "--executor", "serial", "--max-pending", "7",
+        "--default-timeout", "1.5",
+        "--cache-dir", str(tmp_path / "c"), "--writer-id", "svc-a",
+    ])
+    service = service_from_args(args)
+    assert service.max_pending == 7
+    assert service.default_timeout_s == 1.5
+    assert service.cache.writer_id == "svc-a"
+
+
+def test_writer_id_without_cache_dir_is_rejected():
+    args = _build_parser().parse_args(["--writer-id", "svc-a"])
+    with pytest.raises(ConfigurationError, match="--cache-dir"):
+        service_from_args(args)
+
+
+def test_service_closes_owned_process_executor_on_stop():
+    async def scenario():
+        service = make_service(executor="process", max_batch_size=1,
+                               max_workers=1)
+        assert service._own_executor
+        await service.evaluate({"static_probability": 0.45})
+        pool = service.executor._pool
+        await service.stop()
+        return service, pool
+
+    service, pool = asyncio.run(scenario())
+    assert pool is not None            # the flush actually used the pool
+    assert service.executor._pool is None  # stop() closed it
+
+
+def test_persistent_process_pool_is_reused_across_flushes():
+    async def scenario():
+        service = make_service(executor="process", max_batch_size=1,
+                               max_workers=1)
+        await service.evaluate({"static_probability": 0.21})
+        first_pool = service.executor._pool
+        await service.evaluate({"static_probability": 0.22})
+        second_pool = service.executor._pool
+        await service.stop()
+        return first_pool, second_pool
+
+    first_pool, second_pool = asyncio.run(scenario())
+    assert first_pool is second_pool
