@@ -88,6 +88,34 @@ class BenchStore:
             json.dumps(records, indent=2, sort_keys=True) + "\n",
             encoding="utf-8")
 
+    def regression_gate(self, metric: str, value: float, *,
+                        regression_factor: float = 3.0,
+                        min_records: int = 5,
+                        label: str = "gate") -> None:
+        """Assert ``value`` has not regressed more than ``regression_factor``
+        below the rolling-median baseline of ``metric``.
+
+        Arms only once ``min_records`` history records carry the metric
+        (a single-sample baseline would gate on noise); prints the
+        armed/disarmed state either way.  Call it BEFORE writing the
+        run's own record, so a failing run cannot poison its baseline.
+        """
+        history_values = [record[metric] for record in self.history()
+                          if isinstance(record.get(metric), (int, float))]
+        if len(history_values) < min_records:
+            print(f"  {label}: disarmed ({len(history_values)} of "
+                  f"{min_records} history records)")
+            return
+        baseline = self.rolling_baseline(metric)
+        floor = baseline / regression_factor
+        print(f"  {label}: rolling-median baseline {baseline:.1f} "
+              f"({len(history_values)} records), fail below {floor:.1f}")
+        assert value >= floor, (
+            f"{metric} regressed more than {regression_factor:.0f}x: "
+            f"{value:.1f} vs rolling-median baseline {baseline:.1f} "
+            f"(floor {floor:.1f})"
+        )
+
     def rolling_baseline(self, metric: str,
                          window: int | None = None) -> float | None:
         """Median of ``metric`` over the last ``window`` history records.

@@ -26,6 +26,14 @@ from repro.engine import DistributedExecutor
 
 GATE_ENABLED = os.environ.get("REPRO_BENCH_GATE") == "1"
 
+#: Fail the smoke when end-to-end throughput drops below
+#: rolling-median/3 — the same margin as the engine/service gates.
+REGRESSION_FACTOR = 3.0
+
+#: The gate arms only once this many history records carry the metric:
+#: a single-sample baseline would gate on noise (ROADMAP arming rule).
+MIN_GATE_RECORDS = 5
+
 SCHEMES = ["SC", "SDPC"]
 GRID = {"static_probability": [0.1, 0.2, 0.3, 0.4, 0.6, 0.7, 0.8, 0.9]}
 
@@ -80,6 +88,17 @@ def test_distributed_two_worker_smoke(benchmark, bench_store):
 
     if not GATE_ENABLED:
         return
+
+    # Throughput-regression gate, armed once the history holds enough
+    # records for a meaningful rolling median.  Runs BEFORE the new
+    # record is written, so a failing run cannot poison its own baseline.
+    bench_store.regression_gate(
+        "distributed_points_per_second",
+        payload["distributed_points_per_second"],
+        regression_factor=REGRESSION_FACTOR,
+        min_records=MIN_GATE_RECORDS,
+        label="gate      ",
+    )
 
     bench_store.merge(payload)
     bench_store.append_history({

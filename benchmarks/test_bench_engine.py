@@ -109,8 +109,12 @@ def test_engine_throughput_and_cache(benchmark, bench_store):
               f"(window {bench_store.ROLLING_WINDOW}), "
               f"fail below {baseline_pps / REGRESSION_FACTOR:.1f}")
 
-    # The cache must make the re-run at least an order of magnitude faster.
-    assert payload["cache_speedup_vs_serial"] > 10.0
+    # The cache must still beat re-evaluating.  The margin was 10x before
+    # the leakage-kernel fast path; with warm kernels a serial point now
+    # costs ~0.5 ms, so a disk-backed cache hit is only a small multiple
+    # faster — the speedup that matters (vs the pre-kernel 263 points/s
+    # cold cost) is tracked by the regression gate below.
+    assert payload["cache_speedup_vs_serial"] > 2.0
 
     if not GATE_ENABLED:
         return

@@ -112,23 +112,12 @@ def test_service_load_smoke(benchmark, bench_store):
     # Throughput-regression gate, armed once the history holds enough
     # records for a meaningful rolling median.  Runs BEFORE the new
     # record is written, so a failing run cannot poison its own baseline.
-    history_values = [record["service_queries_per_second"]
-                      for record in bench_store.history()
-                      if isinstance(record.get("service_queries_per_second"),
-                                    (int, float))]
-    if len(history_values) >= MIN_GATE_RECORDS:
-        baseline = bench_store.rolling_baseline("service_queries_per_second")
-        floor = baseline / REGRESSION_FACTOR
-        print(f"  gate      : rolling-median baseline {baseline:.1f} q/s "
-              f"({len(history_values)} records), fail below {floor:.1f}")
-        assert queries_per_second >= floor, (
-            f"service throughput regressed more than "
-            f"{REGRESSION_FACTOR:.0f}x: {queries_per_second:.1f} q/s vs "
-            f"rolling-median baseline {baseline:.1f} (floor {floor:.1f})"
-        )
-    else:
-        print(f"  gate      : disarmed ({len(history_values)} of "
-              f"{MIN_GATE_RECORDS} history records)")
+    bench_store.regression_gate(
+        "service_queries_per_second", queries_per_second,
+        regression_factor=REGRESSION_FACTOR,
+        min_records=MIN_GATE_RECORDS,
+        label="gate      ",
+    )
 
     bench_store.merge(payload)
     bench_store.append_history({

@@ -19,8 +19,8 @@ fi
 echo "==> Tier-1 tests"
 PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m pytest -x -q
 
-echo "==> Engine + service + distributed benchmark smoke (gated vs BENCH_history.json rolling median)"
-REPRO_BENCH_GATE=1 PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m pytest benchmarks -q -k "engine or service or distributed" --benchmark-disable-gc
+echo "==> Engine + point + service + distributed benchmark smoke (gated vs BENCH_history.json rolling median)"
+REPRO_BENCH_GATE=1 PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m pytest benchmarks -q -k "engine or point or service or distributed" --benchmark-disable-gc
 
 echo "==> BENCH_engine.json"
 cat BENCH_engine.json
@@ -34,8 +34,8 @@ history = json.load(open("BENCH_history.json"))
 print(f"{len(history)} records; last: {json.dumps(history[-1], sort_keys=True)}")
 
 BLOCKS = "▁▂▃▄▅▆▇█"
-METRICS = ["serial_points_per_second", "service_queries_per_second",
-           "distributed_points_per_second"]
+METRICS = ["serial_points_per_second", "point_eval_points_per_second",
+           "service_queries_per_second", "distributed_points_per_second"]
 
 
 def sparkline(values):

@@ -4,7 +4,15 @@ See ``DESIGN.md`` S2.  This layer replaces the paper's SPICE decks with
 analytical models of the same circuits.
 """
 
-from .biasing import OFF_OVERLAP_GATE_FRACTION, leakage_from_node_voltages
+from .biasing import (
+    OFF_OVERLAP_GATE_FRACTION,
+    KernelStats,
+    LeakageKernel,
+    kernel_for,
+    kernel_totals,
+    leakage_from_node_voltages,
+    reset_kernel_totals,
+)
 from .devices import DeviceInstance, DeviceRole
 from .dynamic import (
     contention_energy,
@@ -23,7 +31,13 @@ from .gates import (
     SleepTransistor,
     TransmissionGate,
 )
-from .leakage import BiasState, LeakageBreakdown, StateLeakage, device_leakage
+from .leakage import (
+    BiasState,
+    LeakageAccumulator,
+    LeakageBreakdown,
+    StateLeakage,
+    device_leakage,
+)
 from .netlist import GROUND_NET, SUPPLY_NET, Netlist, NetlistStatistics
 from .rc_network import LN2, RCTree, lumped_stage_delay
 from .transient import RCTransientSolver, TransientResult
@@ -36,8 +50,11 @@ __all__ = [
     "GROUND_NET",
     "Inverter",
     "Keeper",
+    "KernelStats",
     "LN2",
+    "LeakageAccumulator",
     "LeakageBreakdown",
+    "LeakageKernel",
     "Nand2",
     "Netlist",
     "NetlistStatistics",
@@ -55,8 +72,11 @@ __all__ = [
     "contention_energy",
     "device_leakage",
     "dynamic_power",
+    "kernel_for",
+    "kernel_totals",
     "leakage_from_node_voltages",
     "lumped_stage_delay",
     "precharge_energy_per_cycle",
+    "reset_kernel_totals",
     "switching_energy",
 ]

@@ -12,11 +12,18 @@ its channel and gate-leaks only through the gate-drain overlap region.
 
 from __future__ import annotations
 
+import weakref
+from dataclasses import dataclass
+
 from ..errors import CircuitError
+from ..technology.leakage_model import stack_factor
+from ..technology.library import TechnologyLibrary
 from ..technology.transistor import Mosfet, Polarity
 from .leakage import LeakageBreakdown
 
-__all__ = ["leakage_from_node_voltages", "OFF_OVERLAP_GATE_FRACTION"]
+__all__ = ["leakage_from_node_voltages", "OFF_OVERLAP_GATE_FRACTION",
+           "LeakageKernel", "KernelStats", "kernel_for",
+           "kernel_totals", "reset_kernel_totals"]
 
 #: Fraction of the full-channel gate tunnelling current that flows through
 #: the gate-drain overlap of an *off* device whose drain sits a full supply
@@ -44,8 +51,6 @@ def leakage_from_node_voltages(
         Stack depth for the sub-threshold component (see
         :func:`repro.technology.leakage_model.stack_factor`).
     """
-    from ..technology.leakage_model import stack_factor
-
     vdd = device.supply_voltage
     for name, value in (
         ("gate", gate_voltage),
@@ -94,3 +99,156 @@ def leakage_from_node_voltages(
 
     junction = device.junction_leakage(vds=vds) if vds > 0 else 0.0
     return LeakageBreakdown(subthreshold=subthreshold, gate=gate, junction=junction)
+
+
+# ---------------------------------------------------------------------------
+# memoised bias-point evaluation: the leakage kernel fast path
+# ---------------------------------------------------------------------------
+
+@dataclass
+class KernelStats:
+    """Hit/miss accounting for leakage-kernel memoisation."""
+
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def lookups(self) -> int:
+        """Total bias-point evaluations requested."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the memo (0.0 when unused)."""
+        if not self.lookups:
+            return 0.0
+        return self.hits / self.lookups
+
+    def as_payload(self) -> dict:
+        """JSON-safe counters (for ``GET /stats`` and the benches)."""
+        return {"hits": self.hits, "misses": self.misses,
+                "hit_rate": self.hit_rate}
+
+
+#: Process-wide aggregate over every kernel instance, so the structural
+#: cache stats API and ``GET /stats`` can report kernel effectiveness
+#: without chasing per-library objects (which the structural cache may
+#: have evicted).
+_TOTALS = KernelStats()
+
+#: Every live kernel, weakly held, so a reset can zero per-kernel stats
+#: in lockstep with the aggregate — a kernel's counters are always a
+#: *share* of the totals, even across resets.
+_LIVE_KERNELS: "weakref.WeakSet[LeakageKernel]" = weakref.WeakSet()
+
+
+def kernel_totals() -> KernelStats:
+    """Aggregate hit/miss counters across every :class:`LeakageKernel`.
+
+    Returns the live counter object — snapshot the ints before timing a
+    region if you need a before/after delta.
+    """
+    return _TOTALS
+
+
+def reset_kernel_totals() -> None:
+    """Zero the process-wide kernel counters (mainly for tests/benches).
+
+    Also zeroes the per-kernel counters of every live kernel, so each
+    kernel's stats remain a share of the aggregate after the reset.
+    """
+    _TOTALS.hits = 0
+    _TOTALS.misses = 0
+    for kernel in _LIVE_KERNELS:
+        kernel.stats.hits = 0
+        kernel.stats.misses = 0
+
+
+class LeakageKernel:
+    """Memoised :func:`leakage_from_node_voltages` for one technology library.
+
+    The schemes only ever bias a device at a handful of rail and
+    intermediate node voltages, while a single design-point evaluation
+    asks for those same few bias points thousands of times — so each
+    unique ``(device, vg, vd, vs, series_off_devices)`` operating point
+    is evaluated once (full rail validation included) and every repeat
+    is a dict lookup returning the same immutable breakdown.
+
+    Keys hold the :class:`~repro.technology.transistor.Mosfet` *object*
+    (identity-hashed), which both pins the device alive — an ``id()``
+    key could alias a recycled address — and scopes the memo to devices
+    that are genuinely shared, as the structurally-cached gates and
+    schemes share theirs.  The memo is bounded: schemes bias shared
+    devices at rail voltages, so a healthy kernel holds a few dozen
+    entries per scheme; overflowing ``max_entries`` (a sweep churning
+    libraries or voltages) clears the memo rather than growing without
+    bound — correctness never depends on retention.
+
+    Not an ``functools.lru_cache``: the kernel is owned per library (via
+    :func:`kernel_for`), so dropping the library drops its memo, and the
+    hit/miss counters feed the structural-cache stats API.
+    """
+
+    __slots__ = ("max_entries", "stats", "_memo", "__weakref__")
+
+    def __init__(self, max_entries: int = 8192) -> None:
+        if max_entries < 1:
+            raise CircuitError("max_entries must be at least 1")
+        self.max_entries = max_entries
+        self.stats = KernelStats()
+        self._memo: dict[tuple, LeakageBreakdown] = {}
+        _LIVE_KERNELS.add(self)
+
+    def __len__(self) -> int:
+        """Number of memoised bias points."""
+        return len(self._memo)
+
+    def evaluate(
+        self,
+        device: Mosfet,
+        gate_voltage: float,
+        drain_voltage: float,
+        source_voltage: float,
+        series_off_devices: int = 1,
+    ) -> LeakageBreakdown:
+        """Leakage of ``device`` at the given bias, memoised.
+
+        Same contract (and same validation errors, raised on first
+        sight of a bias point) as :func:`leakage_from_node_voltages`.
+        """
+        key = (device, gate_voltage, drain_voltage, source_voltage,
+               series_off_devices)
+        memo = self._memo
+        cached = memo.get(key)
+        if cached is not None:
+            self.stats.hits += 1
+            _TOTALS.hits += 1
+            return cached
+        result = leakage_from_node_voltages(
+            device, gate_voltage, drain_voltage, source_voltage,
+            series_off_devices,
+        )
+        self.stats.misses += 1
+        _TOTALS.misses += 1
+        if len(memo) >= self.max_entries:
+            memo.clear()
+        memo[key] = result
+        return result
+
+    def clear(self) -> None:
+        """Drop every memoised bias point (counters are kept)."""
+        self._memo.clear()
+
+
+def kernel_for(library: TechnologyLibrary) -> LeakageKernel:
+    """The leakage kernel owned by ``library``, created on first use.
+
+    One kernel per library keeps the memo coherent by construction:
+    devices from different libraries differ by identity, and dropping a
+    library (structural-cache eviction) drops its kernel with it.
+    """
+    kernel = library.leakage_kernel
+    if kernel is None:
+        kernel = LeakageKernel()
+        library.leakage_kernel = kernel
+    return kernel

@@ -10,7 +10,9 @@ three things the analysis layers need from it:
 * **Electrical figures** for delay: input capacitance, output (diffusion)
   capacitance, pull-up / pull-down effective resistance.
 * **Leakage** as a function of the logic state of its terminals, via
-  :func:`repro.circuit.biasing.leakage_from_node_voltages`.
+  the library's memoised :class:`~repro.circuit.biasing.LeakageKernel`
+  (same numbers as :func:`repro.circuit.biasing.leakage_from_node_voltages`,
+  each unique bias point evaluated once).
 * **Structure**: a list of :class:`~repro.circuit.devices.DeviceInstance`
   suitable for insertion into a :class:`~repro.circuit.netlist.Netlist`.
 
@@ -23,7 +25,7 @@ from __future__ import annotations
 from ..errors import CircuitError
 from ..technology.library import TechnologyLibrary
 from ..technology.transistor import Mosfet, Polarity, VtFlavor
-from .biasing import leakage_from_node_voltages
+from .biasing import kernel_for
 from .devices import DeviceInstance, DeviceRole
 from .leakage import LeakageBreakdown
 from .netlist import GROUND_NET, SUPPLY_NET
@@ -63,6 +65,7 @@ class Inverter:
         name: str = "inv",
     ) -> None:
         self.library = library
+        self._kernel = kernel_for(library)
         self.name = name
         self.nmos: Mosfet = library.make_transistor(Polarity.NMOS, nmos_flavor, nmos_width)
         self.pmos: Mosfet = library.make_transistor(Polarity.PMOS, pmos_flavor, pmos_width)
@@ -90,8 +93,8 @@ class Inverter:
         vdd = self.library.supply_voltage
         vin = _level(input_is_high, vdd)
         vout = _level(not input_is_high, vdd)
-        nmos = leakage_from_node_voltages(self.nmos, vin, vout, 0.0)
-        pmos = leakage_from_node_voltages(self.pmos, vin, vout, vdd)
+        nmos = self._kernel.evaluate(self.nmos, vin, vout, 0.0)
+        pmos = self._kernel.evaluate(self.pmos, vin, vout, vdd)
         return nmos + pmos
 
     def average_leakage(self, probability_input_high: float = 0.5) -> LeakageBreakdown:
@@ -164,6 +167,7 @@ class PassTransistorSwitch:
     def __init__(self, library: TechnologyLibrary, width: float,
                  flavor: VtFlavor = VtFlavor.NOMINAL, name: str = "pass") -> None:
         self.library = library
+        self._kernel = kernel_for(library)
         self.name = name
         self.nmos: Mosfet = library.make_transistor(Polarity.NMOS, flavor, width)
 
@@ -183,7 +187,7 @@ class PassTransistorSwitch:
         """Leakage for the given grant state and terminal voltages."""
         vdd = self.library.supply_voltage
         gate = _level(granted, vdd)
-        return leakage_from_node_voltages(self.nmos, gate, input_voltage, output_voltage)
+        return self._kernel.evaluate(self.nmos, gate, input_voltage, output_voltage)
 
     def devices(self, grant_net: str, input_net: str, output_net: str, prefix: str,
                 role: DeviceRole = DeviceRole.PASS_TRANSISTOR) -> list[DeviceInstance]:
@@ -206,6 +210,7 @@ class TransmissionGate:
     def __init__(self, library: TechnologyLibrary, nmos_width: float, pmos_width: float,
                  flavor: VtFlavor = VtFlavor.NOMINAL, name: str = "tgate") -> None:
         self.library = library
+        self._kernel = kernel_for(library)
         self.name = name
         self.nmos = library.make_transistor(Polarity.NMOS, flavor, nmos_width)
         self.pmos = library.make_transistor(Polarity.PMOS, flavor, pmos_width)
@@ -229,8 +234,8 @@ class TransmissionGate:
         vdd = self.library.supply_voltage
         n_gate = _level(granted, vdd)
         p_gate = _level(not granted, vdd)
-        nmos = leakage_from_node_voltages(self.nmos, n_gate, input_voltage, output_voltage)
-        pmos = leakage_from_node_voltages(self.pmos, p_gate, input_voltage, output_voltage)
+        nmos = self._kernel.evaluate(self.nmos, n_gate, input_voltage, output_voltage)
+        pmos = self._kernel.evaluate(self.pmos, p_gate, input_voltage, output_voltage)
         return nmos + pmos
 
     def devices(self, grant_net: str, grant_bar_net: str, input_net: str, output_net: str,
@@ -256,6 +261,7 @@ class SleepTransistor:
     def __init__(self, library: TechnologyLibrary, width: float,
                  flavor: VtFlavor = VtFlavor.HIGH, name: str = "sleep") -> None:
         self.library = library
+        self._kernel = kernel_for(library)
         self.name = name
         self.nmos: Mosfet = library.make_transistor(Polarity.NMOS, flavor, width)
 
@@ -275,7 +281,7 @@ class SleepTransistor:
         """Leakage of the sleep device itself."""
         vdd = self.library.supply_voltage
         gate = _level(sleeping, vdd)
-        return leakage_from_node_voltages(self.nmos, gate, node_voltage, 0.0)
+        return self._kernel.evaluate(self.nmos, gate, node_voltage, 0.0)
 
     def devices(self, sleep_net: str, node_net: str, prefix: str) -> list[DeviceInstance]:
         """Structural device instance."""
@@ -296,6 +302,7 @@ class PrechargeTransistor:
     def __init__(self, library: TechnologyLibrary, width: float,
                  flavor: VtFlavor = VtFlavor.HIGH, name: str = "precharge") -> None:
         self.library = library
+        self._kernel = kernel_for(library)
         self.name = name
         self.pmos: Mosfet = library.make_transistor(Polarity.PMOS, flavor, width)
 
@@ -315,7 +322,7 @@ class PrechargeTransistor:
         """Leakage of the pre-charge device for the given phase and node value."""
         vdd = self.library.supply_voltage
         gate = _level(not precharging, vdd)  # active-low control
-        return leakage_from_node_voltages(self.pmos, gate, node_voltage, vdd)
+        return self._kernel.evaluate(self.pmos, gate, node_voltage, vdd)
 
     def devices(self, precharge_net: str, node_net: str, prefix: str) -> list[DeviceInstance]:
         """Structural device instance."""
@@ -340,6 +347,7 @@ class Keeper:
     def __init__(self, library: TechnologyLibrary, width: float,
                  flavor: VtFlavor = VtFlavor.NOMINAL, name: str = "keeper") -> None:
         self.library = library
+        self._kernel = kernel_for(library)
         self.name = name
         self.pmos: Mosfet = library.make_transistor(Polarity.PMOS, flavor, width)
 
@@ -369,7 +377,7 @@ class Keeper:
         vdd = self.library.supply_voltage
         node = _level(node_is_high, vdd)
         gate = _level(not node_is_high, vdd)  # feedback inverts the node
-        return leakage_from_node_voltages(self.pmos, gate, node, vdd)
+        return self._kernel.evaluate(self.pmos, gate, node, vdd)
 
     def devices(self, feedback_net: str, node_net: str, prefix: str) -> list[DeviceInstance]:
         """Structural device instance."""
@@ -385,6 +393,7 @@ class _TwoInputGate:
     def __init__(self, library: TechnologyLibrary, nmos_width: float, pmos_width: float,
                  flavor: VtFlavor, name: str) -> None:
         self.library = library
+        self._kernel = kernel_for(library)
         self.name = name
         self.nmos_a = library.make_transistor(Polarity.NMOS, flavor, nmos_width)
         self.nmos_b = library.make_transistor(Polarity.NMOS, flavor, nmos_width)
@@ -428,10 +437,10 @@ class Nand2(_TwoInputGate):
         # Series NMOS stack: internal node sits near ground unless both are off.
         stack_depth = 2 if (not a_high and not b_high) else 1
         internal = 0.0
-        result = leakage_from_node_voltages(self.nmos_a, va, internal, 0.0, stack_depth)
-        result = result + leakage_from_node_voltages(self.nmos_b, vb, vout, internal, stack_depth)
-        result = result + leakage_from_node_voltages(self.pmos_a, va, vout, vdd)
-        result = result + leakage_from_node_voltages(self.pmos_b, vb, vout, vdd)
+        result = self._kernel.evaluate(self.nmos_a, va, internal, 0.0, stack_depth)
+        result = result + self._kernel.evaluate(self.nmos_b, vb, vout, internal, stack_depth)
+        result = result + self._kernel.evaluate(self.pmos_a, va, vout, vdd)
+        result = result + self._kernel.evaluate(self.pmos_b, vb, vout, vdd)
         return result
 
     def average_leakage(self) -> LeakageBreakdown:
@@ -466,10 +475,10 @@ class Nor2(_TwoInputGate):
         vout = _level(out_high, vdd)
         stack_depth = 2 if (a_high and b_high) else 1
         internal = vdd
-        result = leakage_from_node_voltages(self.pmos_a, va, internal, vdd, stack_depth)
-        result = result + leakage_from_node_voltages(self.pmos_b, vb, vout, internal, stack_depth)
-        result = result + leakage_from_node_voltages(self.nmos_a, va, vout, 0.0)
-        result = result + leakage_from_node_voltages(self.nmos_b, vb, vout, 0.0)
+        result = self._kernel.evaluate(self.pmos_a, va, internal, vdd, stack_depth)
+        result = result + self._kernel.evaluate(self.pmos_b, vb, vout, internal, stack_depth)
+        result = result + self._kernel.evaluate(self.nmos_a, va, vout, 0.0)
+        result = result + self._kernel.evaluate(self.nmos_b, vb, vout, 0.0)
         return result
 
     def average_leakage(self) -> LeakageBreakdown:

@@ -9,6 +9,10 @@ bookkeeping:
 * :class:`LeakageBreakdown` — immutable record of sub-threshold, gate and
   junction leakage currents (amperes) that supports addition and scaling,
   plus conversion to power at a supply voltage.
+* :class:`LeakageAccumulator` — the mutable companion for hot loops: a
+  running component-wise sum that collapses long ``__add__``/``scaled``
+  chains into plain float adds, frozen into a validated
+  :class:`LeakageBreakdown` once at the end.
 * :class:`BiasState` — the terminal voltages that determine a device's
   leakage.
 * :func:`device_leakage` — evaluate one device in one bias state.
@@ -16,6 +20,17 @@ bookkeeping:
   multiplicity) contributions, e.g. "the DPC output path with node A
   high", which the power layer combines across states using the static
   probability.
+
+Allocation discipline
+---------------------
+:class:`LeakageBreakdown` is the single hottest allocation of a design
+point evaluation (tens of thousands of instances per point before the
+fast path existed), so it is a ``slots`` dataclass and its arithmetic
+goes through an unvalidated constructor: components are validated
+non-negative once at a construction boundary (``__init__`` or
+:meth:`LeakageAccumulator.freeze`), and sums/products of non-negative
+floats cannot go negative, so re-validating every intermediate would
+only burn the inner loop.
 """
 
 from __future__ import annotations
@@ -23,12 +38,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..errors import CircuitError
+from ..technology.leakage_model import stack_factor
 from ..technology.transistor import Mosfet
 
-__all__ = ["LeakageBreakdown", "BiasState", "device_leakage", "StateLeakage"]
+__all__ = ["LeakageBreakdown", "LeakageAccumulator", "BiasState",
+           "device_leakage", "StateLeakage"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class LeakageBreakdown:
     """Leakage currents in amperes, split by mechanism."""
 
@@ -47,20 +64,20 @@ class LeakageBreakdown:
         return self.subthreshold + self.gate + self.junction
 
     def __add__(self, other: "LeakageBreakdown") -> "LeakageBreakdown":
-        return LeakageBreakdown(
-            subthreshold=self.subthreshold + other.subthreshold,
-            gate=self.gate + other.gate,
-            junction=self.junction + other.junction,
+        return _unchecked(
+            self.subthreshold + other.subthreshold,
+            self.gate + other.gate,
+            self.junction + other.junction,
         )
 
     def scaled(self, factor: float) -> "LeakageBreakdown":
         """Return this breakdown multiplied by ``factor`` (e.g. a device count)."""
         if factor < 0:
             raise CircuitError("scaling factor cannot be negative")
-        return LeakageBreakdown(
-            subthreshold=self.subthreshold * factor,
-            gate=self.gate * factor,
-            junction=self.junction * factor,
+        return _unchecked(
+            self.subthreshold * factor,
+            self.gate * factor,
+            self.junction * factor,
         )
 
     def power(self, supply_voltage: float) -> float:
@@ -73,6 +90,59 @@ class LeakageBreakdown:
     def zero() -> "LeakageBreakdown":
         """The additive identity."""
         return LeakageBreakdown()
+
+
+def _unchecked(subthreshold: float, gate: float, junction: float) -> LeakageBreakdown:
+    """Build a breakdown without re-validating (arithmetic fast path).
+
+    Only for results derived from already-validated breakdowns: sums and
+    non-negative scalings of non-negative components stay non-negative.
+    """
+    out = object.__new__(LeakageBreakdown)
+    object.__setattr__(out, "subthreshold", subthreshold)
+    object.__setattr__(out, "gate", gate)
+    object.__setattr__(out, "junction", junction)
+    return out
+
+
+class LeakageAccumulator:
+    """Mutable component-wise sum of breakdowns for hot loops.
+
+    ``total = total + breakdown.scaled(n)`` allocates two breakdowns per
+    contribution; the accumulator performs the same arithmetic (same
+    float operation order, so results are bit-identical) as three float
+    multiply-adds on mutable slots, and allocates exactly once — at
+    :meth:`freeze`, the validated construction boundary.
+    """
+
+    __slots__ = ("subthreshold", "gate", "junction")
+
+    def __init__(self) -> None:
+        self.subthreshold = 0.0
+        self.gate = 0.0
+        self.junction = 0.0
+
+    def add(self, breakdown: LeakageBreakdown, scale: float = 1.0) -> "LeakageAccumulator":
+        """Add ``breakdown`` times ``scale`` (e.g. a device count); returns self."""
+        if scale < 0:
+            raise CircuitError("scaling factor cannot be negative")
+        if scale == 1.0:
+            self.subthreshold += breakdown.subthreshold
+            self.gate += breakdown.gate
+            self.junction += breakdown.junction
+        else:
+            self.subthreshold += breakdown.subthreshold * scale
+            self.gate += breakdown.gate * scale
+            self.junction += breakdown.junction * scale
+        return self
+
+    def freeze(self) -> LeakageBreakdown:
+        """The accumulated sum as a validated immutable breakdown."""
+        return LeakageBreakdown(
+            subthreshold=self.subthreshold,
+            gate=self.gate,
+            junction=self.junction,
+        )
 
 
 @dataclass(frozen=True)
@@ -121,8 +191,6 @@ def device_leakage(device: Mosfet, bias: BiasState) -> LeakageBreakdown:
     The stack effect is applied to the sub-threshold component only
     (gate tunnelling does not benefit from stacking).
     """
-    from ..technology.leakage_model import stack_factor
-
     subthreshold = device.subthreshold_current(vgs=bias.vgs, vds=bias.vds)
     if bias.series_off_devices > 1:
         subthreshold *= stack_factor(bias.series_off_devices)
@@ -157,10 +225,10 @@ class StateLeakage:
 
     def total(self) -> LeakageBreakdown:
         """Sum of all contributions, weighted by multiplicity."""
-        result = LeakageBreakdown.zero()
+        acc = LeakageAccumulator()
         for _, breakdown, multiplicity in self.contributions:
-            result = result + breakdown.scaled(multiplicity)
-        return result
+            acc.add(breakdown, multiplicity)
+        return acc.freeze()
 
     def total_current(self) -> float:
         """Total leakage current in amperes."""

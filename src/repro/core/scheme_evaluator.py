@@ -57,12 +57,51 @@ class _LibraryKey:
 
 @dataclass
 class StructuralCacheStats:
-    """Hit/miss accounting for the process-wide structural cache."""
+    """Hit/miss accounting for the process-wide structural cache.
+
+    ``kernel_hits`` / ``kernel_misses`` aggregate the leakage-kernel
+    memo (:class:`repro.circuit.biasing.LeakageKernel`) across every
+    library, so one stats object describes the whole fast path: shared
+    structure (libraries, schemes) and shared bias-point evaluations.
+    """
 
     library_hits: int = 0
     library_misses: int = 0
     scheme_hits: int = 0
     scheme_misses: int = 0
+
+    @property
+    def kernel_hits(self) -> int:
+        """Leakage-kernel memo hits, aggregated across all libraries."""
+        from ..circuit.biasing import kernel_totals
+
+        return kernel_totals().hits
+
+    @property
+    def kernel_misses(self) -> int:
+        """Leakage-kernel memo misses (unique bias points evaluated)."""
+        from ..circuit.biasing import kernel_totals
+
+        return kernel_totals().misses
+
+    @property
+    def kernel_hit_rate(self) -> float:
+        """Fraction of bias-point evaluations served from the memo."""
+        from ..circuit.biasing import kernel_totals
+
+        return kernel_totals().hit_rate
+
+    def as_payload(self) -> dict:
+        """JSON-safe snapshot of every counter (``GET /stats`` block)."""
+        return {
+            "library_hits": self.library_hits,
+            "library_misses": self.library_misses,
+            "scheme_hits": self.scheme_hits,
+            "scheme_misses": self.scheme_misses,
+            "kernel_hits": self.kernel_hits,
+            "kernel_misses": self.kernel_misses,
+            "kernel_hit_rate": self.kernel_hit_rate,
+        }
 
 
 class _StructuralCache:
@@ -120,8 +159,20 @@ def structural_cache_stats() -> StructuralCacheStats:
 
 
 def clear_structural_cache() -> None:
-    """Drop all memoised libraries and schemes (mainly for tests)."""
+    """Drop all memoised libraries and schemes (mainly for tests).
+
+    Also zeroes the leakage-kernel counters — the process-wide totals
+    *and* the per-kernel stats of any kernel still alive on a library a
+    caller holds — so per-library stats remain a consistent share of
+    the aggregate after the clear.  (Kernels on dropped libraries are
+    garbage-collected with them.)
+    """
+    from ..circuit.biasing import reset_kernel_totals
+
     _STRUCTURAL_CACHE.clear()
+    reset_kernel_totals()
+
+
 
 
 @dataclass(frozen=True)
@@ -166,6 +217,18 @@ class SchemeEvaluator:
         return _STRUCTURAL_CACHE.scheme_for(
             self._library_key, self.library, self.config.crossbar, name
         )
+
+    def kernel_stats(self):
+        """Leakage-kernel hit/miss stats of this evaluator's library.
+
+        The per-library share of the process-wide
+        :attr:`StructuralCacheStats.kernel_hits` aggregate — a
+        :class:`~repro.circuit.biasing.KernelStats` with ``hits``,
+        ``misses``, ``hit_rate`` and ``as_payload()``.
+        """
+        from ..circuit.biasing import kernel_for
+
+        return kernel_for(self.library).stats
 
     def evaluate(self, name: str) -> SchemeResult:
         """Fully evaluate one scheme."""

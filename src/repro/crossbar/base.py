@@ -38,7 +38,7 @@ from ..circuit.gates import (
     PrechargeTransistor,
     SleepTransistor,
 )
-from ..circuit.leakage import LeakageBreakdown
+from ..circuit.leakage import LeakageAccumulator, LeakageBreakdown
 from ..circuit.netlist import Netlist
 from ..errors import CrossbarError
 from ..interconnect.pi_model import PiModel
@@ -124,6 +124,23 @@ class CrossbarScheme:
         self.features = features
         self.vt_plan = vt_plan
         self._build_components()
+        # Scheme instances are structurally immutable after construction
+        # and shared through the structural cache, so every analysis
+        # method is pure in its scalar arguments — memoise the hot
+        # entry points per (method, scalars).  Bounded: a sweep over
+        # many distinct scalars clears rather than grows.
+        self._analysis_memo: dict[tuple, object] = {}
+
+    def _memoised(self, key: tuple, compute):
+        """Per-scheme memo for pure analysis results keyed on scalars."""
+        memo = self._analysis_memo
+        cached = memo.get(key)
+        if cached is None:
+            cached = compute()
+            if len(memo) >= 256:
+                memo.clear()
+            memo[key] = cached
+        return cached
 
     # ------------------------------------------------------------------ #
     # construction                                                        #
@@ -399,11 +416,11 @@ class CrossbarScheme:
 
     def delay_report(self) -> DelayReport:
         """Worst-case delays of this scheme (Table 1 delay rows)."""
-        return DelayReport(
+        return self._memoised(("delay_report",), lambda: DelayReport(
             scheme=self.name,
             high_to_low=self.high_to_low_path().delay(),
             low_to_high=self.low_to_high_path().delay(),
-        )
+        ))
 
     # ------------------------------------------------------------------ #
     # leakage                                                              #
@@ -412,73 +429,76 @@ class CrossbarScheme:
         """Leakage of I1 + I2 for a given merge-node value."""
         return self.driver1.leakage(merge_high) + self.driver2.leakage(not merge_high)
 
-    def _pass_bank_leakage(
+    def _add_pass_bank_leakage(
         self,
+        acc: LeakageAccumulator,
         switch: PassTransistorSwitch,
         count_off: int,
         node_voltage: float,
         probability_input_high: float,
-    ) -> LeakageBreakdown:
-        """Expected leakage of ``count_off`` off pass devices on one merge wire."""
-        if count_off <= 0:
-            return LeakageBreakdown.zero()
-        vdd = self.supply_voltage
-        high_input = switch.leakage(False, vdd, node_voltage)
-        low_input = switch.leakage(False, 0.0, node_voltage)
-        expected = high_input.scaled(probability_input_high) + low_input.scaled(
-            1.0 - probability_input_high
-        )
-        return expected.scaled(count_off)
+    ) -> None:
+        """Accumulate the expected leakage of ``count_off`` off pass devices.
 
-    def _merge_support_leakage(self, merge_high: bool, standby: bool) -> LeakageBreakdown:
+        Each of the two unique bias points (input parked high / parked
+        low) is evaluated once — a kernel memo hit after the first call
+        — and multiplied by its expected population, instead of being
+        re-derived per port or per row.
+        """
+        if count_off <= 0:
+            return
+        vdd = self.supply_voltage
+        acc.add(switch.leakage(False, vdd, node_voltage),
+                probability_input_high * count_off)
+        acc.add(switch.leakage(False, 0.0, node_voltage),
+                (1.0 - probability_input_high) * count_off)
+
+    def _add_merge_support_leakage(self, acc: LeakageAccumulator,
+                                   merge_high: bool, standby: bool) -> None:
         """Keeper / sleep / pre-charge leakage on the near merge node."""
         vdd = self.supply_voltage
         node_voltage = vdd if merge_high else 0.0
-        total = LeakageBreakdown.zero()
         if self.keeper is not None:
-            total = total + self.keeper.leakage(merge_high)
+            acc.add(self.keeper.leakage(merge_high))
         if self.sleep is not None:
-            total = total + self.sleep.leakage(standby, node_voltage)
+            acc.add(self.sleep.leakage(standby, node_voltage))
         if self.precharge is not None:
             # Pre-charge is disabled (gate high, device off) in standby and,
             # during active evaluation, off for the phase that matters.
-            total = total + self.precharge.leakage(False, node_voltage)
-        return total
+            acc.add(self.precharge.leakage(False, node_voltage))
 
-    def _far_support_leakage(self, far_high: bool, far_standby: bool) -> LeakageBreakdown:
+    def _add_far_support_leakage(self, acc: LeakageAccumulator,
+                                 far_high: bool, far_standby: bool) -> None:
         """Sleep / pre-charge devices attached to the far segment."""
         if not self.features.segmented:
-            return LeakageBreakdown.zero()
+            return
         vdd = self.supply_voltage
         node_voltage = vdd if far_high else 0.0
-        total = LeakageBreakdown.zero()
         if self.sleep is not None:
-            total = total + self.sleep.leakage(far_standby, node_voltage)
+            acc.add(self.sleep.leakage(far_standby, node_voltage))
         if self.precharge is not None:
-            total = total + self.precharge.leakage(False, node_voltage)
-        return total
+            acc.add(self.precharge.leakage(False, node_voltage))
 
-    def _segment_switch_leakage(self, connected: bool, far_voltage: float,
-                                near_voltage: float) -> LeakageBreakdown:
+    def _add_segment_switch_leakage(self, acc: LeakageAccumulator, connected: bool,
+                                    far_voltage: float, near_voltage: float) -> None:
         """Leakage of the segment switch for the given connection state."""
-        if self.segment_switch is None:
-            return LeakageBreakdown.zero()
-        return self.segment_switch.leakage(connected, far_voltage, near_voltage)
+        if self.segment_switch is not None:
+            acc.add(self.segment_switch.leakage(connected, far_voltage, near_voltage))
 
     def _path_leakage_unsegmented(self, merge_high: bool, probability_input_high: float,
                                   granted: bool) -> LeakageBreakdown:
         """One output-bit path, non-segmented schemes."""
         vdd = self.supply_voltage
         node_voltage = vdd if merge_high else 0.0
-        total = self._driver_chain_leakage(merge_high)
-        total = total + self._merge_support_leakage(merge_high, standby=False)
+        acc = LeakageAccumulator()
+        acc.add(self._driver_chain_leakage(merge_high))
+        self._add_merge_support_leakage(acc, merge_high, standby=False)
         off_count = self.config.inputs_per_output - (1 if granted else 0)
-        total = total + self._pass_bank_leakage(
-            self.pass_switch, off_count, node_voltage, probability_input_high
+        self._add_pass_bank_leakage(
+            acc, self.pass_switch, off_count, node_voltage, probability_input_high
         )
         if granted:
-            total = total + self.pass_switch.leakage(True, node_voltage, node_voltage)
-        return total
+            acc.add(self.pass_switch.leakage(True, node_voltage, node_voltage))
+        return acc.freeze()
 
     def _path_leakage_segmented(self, merge_high: bool, probability_input_high: float,
                                 granted: bool) -> LeakageBreakdown:
@@ -499,38 +519,45 @@ class CrossbarScheme:
         # Case 1: transfer (or idle value) confined to the near segment.
         far_sleeps = self.features.far_segment_sleeps_when_unused
         far_voltage_case1 = 0.0 if far_sleeps else node_voltage
-        case1 = self._driver_chain_leakage(merge_high)
-        case1 = case1 + self._merge_support_leakage(merge_high, standby=False)
-        case1 = case1 + self._pass_bank_leakage(
-            self.near_pass_switch, self._near_inputs() - (1 if granted else 0),
+        case1 = LeakageAccumulator()
+        case1.add(self._driver_chain_leakage(merge_high))
+        self._add_merge_support_leakage(case1, merge_high, standby=False)
+        self._add_pass_bank_leakage(
+            case1, self.near_pass_switch, self._near_inputs() - (1 if granted else 0),
             node_voltage, probability_input_high,
         )
         if granted:
-            case1 = case1 + self.near_pass_switch.leakage(True, node_voltage, node_voltage)
-        case1 = case1 + self._pass_bank_leakage(
-            self.pass_switch, self._far_inputs(), far_voltage_case1, probability_input_high
+            case1.add(self.near_pass_switch.leakage(True, node_voltage, node_voltage))
+        self._add_pass_bank_leakage(
+            case1, self.pass_switch, self._far_inputs(), far_voltage_case1,
+            probability_input_high,
         )
-        case1 = case1 + self._far_support_leakage(
-            far_high=far_voltage_case1 > 0, far_standby=far_sleeps
+        self._add_far_support_leakage(
+            case1, far_high=far_voltage_case1 > 0, far_standby=far_sleeps
         )
-        case1 = case1 + self._segment_switch_leakage(False, far_voltage_case1, node_voltage)
+        self._add_segment_switch_leakage(case1, False, far_voltage_case1, node_voltage)
 
         # Case 2: transfer comes from the far segment; both segments live.
-        case2 = self._driver_chain_leakage(merge_high)
-        case2 = case2 + self._merge_support_leakage(merge_high, standby=False)
-        case2 = case2 + self._pass_bank_leakage(
-            self.near_pass_switch, self._near_inputs(), node_voltage, probability_input_high
+        case2 = LeakageAccumulator()
+        case2.add(self._driver_chain_leakage(merge_high))
+        self._add_merge_support_leakage(case2, merge_high, standby=False)
+        self._add_pass_bank_leakage(
+            case2, self.near_pass_switch, self._near_inputs(), node_voltage,
+            probability_input_high,
         )
         far_off = self._far_inputs() - (1 if granted else 0)
-        case2 = case2 + self._pass_bank_leakage(
-            self.pass_switch, far_off, node_voltage, probability_input_high
+        self._add_pass_bank_leakage(
+            case2, self.pass_switch, far_off, node_voltage, probability_input_high
         )
         if granted:
-            case2 = case2 + self.pass_switch.leakage(True, node_voltage, node_voltage)
-        case2 = case2 + self._far_support_leakage(far_high=merge_high, far_standby=False)
-        case2 = case2 + self._segment_switch_leakage(True, node_voltage, node_voltage)
+            case2.add(self.pass_switch.leakage(True, node_voltage, node_voltage))
+        self._add_far_support_leakage(case2, far_high=merge_high, far_standby=False)
+        self._add_segment_switch_leakage(case2, True, node_voltage, node_voltage)
 
-        return case1.scaled(near_fraction) + case2.scaled(1.0 - near_fraction)
+        return (LeakageAccumulator()
+                .add(case1.freeze(), near_fraction)
+                .add(case2.freeze(), 1.0 - near_fraction)
+                .freeze())
 
     def _path_leakage(self, merge_high: bool, probability_input_high: float,
                       granted: bool) -> LeakageBreakdown:
@@ -556,12 +583,14 @@ class CrossbarScheme:
         matches the paper's crossbar-only scope.
         """
         self._check_probability(static_probability)
-        per_path = self._expected_path_leakage(
-            probability_high=static_probability,
-            probability_input_high=static_probability,
-            granted=True,
+        return self._memoised(
+            ("active_leakage", static_probability),
+            lambda: self._expected_path_leakage(
+                probability_high=static_probability,
+                probability_input_high=static_probability,
+                granted=True,
+            ).scaled(self.output_path_count),
         )
-        return per_path.scaled(self.output_path_count)
 
     def idle_leakage(self, static_probability: float = 0.5) -> LeakageBreakdown:
         """Crossbar leakage when idle but *not* in standby.
@@ -573,12 +602,14 @@ class CrossbarScheme:
         also parks at the last data value.
         """
         self._check_probability(static_probability)
-        per_path = self._expected_path_leakage(
-            probability_high=static_probability,
-            probability_input_high=static_probability,
-            granted=False,
+        return self._memoised(
+            ("idle_leakage", static_probability),
+            lambda: self._expected_path_leakage(
+                probability_high=static_probability,
+                probability_input_high=static_probability,
+                granted=False,
+            ).scaled(self.output_path_count),
         )
-        return per_path.scaled(self.output_path_count)
 
     def standby_leakage(self) -> LeakageBreakdown:
         """Crossbar leakage in standby (sleep asserted, Table 1 "standby").
@@ -590,16 +621,19 @@ class CrossbarScheme:
         """
         if not self.features.has_sleep:
             return self.idle_leakage()
-        per_path = self._driver_chain_leakage(merge_high=False)
-        per_path = per_path + self._merge_support_leakage(merge_high=False, standby=True)
+        return self._memoised(("standby_leakage",), self._compute_standby_leakage)
+
+    def _compute_standby_leakage(self) -> LeakageBreakdown:
+        """The uncached standby evaluation behind :meth:`standby_leakage`."""
+        acc = LeakageAccumulator()
+        acc.add(self._driver_chain_leakage(merge_high=False))
+        self._add_merge_support_leakage(acc, merge_high=False, standby=True)
         # Off pass devices with all terminals at ground contribute nothing.
-        per_path = per_path + self._pass_bank_leakage(
-            self.pass_switch, 0, 0.0, 0.0
-        )
+        self._add_pass_bank_leakage(acc, self.pass_switch, 0, 0.0, 0.0)
         if self.features.segmented:
-            per_path = per_path + self._far_support_leakage(far_high=False, far_standby=True)
-            per_path = per_path + self._segment_switch_leakage(False, 0.0, 0.0)
-        return per_path.scaled(self.output_path_count)
+            self._add_far_support_leakage(acc, far_high=False, far_standby=True)
+            self._add_segment_switch_leakage(acc, False, 0.0, 0.0)
+        return acc.freeze().scaled(self.output_path_count)
 
     def active_leakage_power(self, static_probability: float = 0.5) -> float:
         """Active leakage expressed as power (watts)."""
@@ -673,6 +707,15 @@ class CrossbarScheme:
         """
         self._check_probability(static_probability)
         self._check_probability(toggle_activity)
+        return self._memoised(
+            ("dynamic_energy_per_cycle", toggle_activity, static_probability),
+            lambda: self._compute_dynamic_energy_per_cycle(
+                toggle_activity, static_probability),
+        )
+
+    def _compute_dynamic_energy_per_cycle(self, toggle_activity: float,
+                                          static_probability: float) -> float:
+        """The uncached evaluation behind :meth:`dynamic_energy_per_cycle`."""
         vdd = self.supply_voltage
         rising_probability = toggle_activity / 2.0
 
@@ -748,6 +791,13 @@ class CrossbarScheme:
         if not self.features.has_sleep:
             return 0.0
         self._check_probability(static_probability)
+        return self._memoised(
+            ("sleep_transition_energy", static_probability),
+            lambda: self._compute_sleep_transition_energy(static_probability),
+        )
+
+    def _compute_sleep_transition_energy(self, static_probability: float) -> float:
+        """The uncached evaluation behind :meth:`sleep_transition_energy`."""
         vdd = self.supply_voltage
         segments = 2 if self.features.segmented else 1
         per_path = segments * switching_energy(self.sleep.control_capacitance(), vdd)

@@ -20,13 +20,15 @@ of the key instead of the key itself, so a hostile or merely unusual key
 can never escape the cache directory.  The flat one-file-per-key layout
 written by earlier versions is migrated into the shards on first open.
 
-When ``max_disk_entries`` is set, an entry-count-bounded eviction pass
-drops the least-recently-used entries after each write (the index also
-records each entry's byte size, the hook for a future byte-budget
-bound); :meth:`EvaluationCache.compact` re-scans the shards, drops
-corrupt or orphaned files, rebuilds the index and enforces the bound in
-one sweep.  ``python -m repro.engine.cache stats|compact DIR`` exposes
-both to the shell for long-lived shared caches (see :func:`main`).
+When ``max_disk_entries`` and/or ``max_disk_bytes`` is set, an LRU
+eviction pass runs after each write: the entry-count bound caps how many
+entries the shards hold, and the byte budget caps their total payload
+size using the per-entry sizes the index records.
+:meth:`EvaluationCache.compact` re-scans the shards, drops corrupt or
+orphaned files, rebuilds the index and enforces both bounds in one
+sweep.  ``python -m repro.engine.cache stats|compact DIR`` (with
+``--max-entries`` / ``--max-bytes`` on ``compact``) exposes all of it to
+the shell for long-lived shared caches (see :func:`main`).
 
 Multi-writer journaling
 -----------------------
@@ -188,9 +190,11 @@ _LEGACY_SAFE = re.compile(r"[A-Za-z0-9_-]{1,200}")
 class EvaluationCache:
     """In-memory, optionally disk-backed store of evaluated points.
 
-    ``max_disk_entries`` bounds the sharded store; ``None`` means
-    unbounded.  The bound is enforced LRU-wise, after each write, over
-    the entries the index knows about: files left by a session that
+    ``max_disk_entries`` bounds the sharded store by entry count and
+    ``max_disk_bytes`` by total payload bytes (per-entry sizes from the
+    index); ``None`` means unbounded, and both may be set together.
+    The bounds are enforced LRU-wise, after each write, over the
+    entries the index knows about: files left by a session that
     crashed before flushing its index batch are adopted when a lookup
     touches them, and :meth:`compact` reconciles everything on disk.
 
@@ -209,6 +213,7 @@ class EvaluationCache:
 
     directory: Path | None = None
     max_disk_entries: int | None = None
+    max_disk_bytes: int | None = None
     max_memory_entries: int | None = None
     writer_id: str | None = None
     stats: CacheStats = field(default_factory=CacheStats)
@@ -216,6 +221,8 @@ class EvaluationCache:
     def __post_init__(self) -> None:
         if self.max_disk_entries is not None and self.max_disk_entries < 1:
             raise ConfigurationError("max_disk_entries must be at least 1")
+        if self.max_disk_bytes is not None and self.max_disk_bytes < 1:
+            raise ConfigurationError("max_disk_bytes must be at least 1")
         if self.max_memory_entries is not None and self.max_memory_entries < 1:
             raise ConfigurationError("max_memory_entries must be at least 1")
         if self.writer_id is not None:
@@ -228,6 +235,7 @@ class EvaluationCache:
                 )
         self._memory: dict[str, CachedEntry] = {}
         self._index: dict[str, dict] = {}
+        self._index_bytes = 0
         self._sequence = 0
         self._index_dirty = False
         self._puts_since_index_write = 0
@@ -348,6 +356,7 @@ class EvaluationCache:
         # Across writers the per-journal seqs interleave arbitrarily —
         # recency is approximate, which only biases LRU choice.
         self._index = dict(sorted(loaded.items(), key=lambda kv: kv[1]["seq"]))
+        self._index_bytes = sum(meta["size"] for meta in self._index.values())
         self._sequence = max(
             (meta["seq"] for meta in self._index.values()), default=0
         )
@@ -430,13 +439,16 @@ class EvaluationCache:
         except OSError:
             size = 0
         # Pop-then-insert keeps the index dict in recency order.
-        self._index.pop(key, None)
+        replaced = self._index.pop(key, None)
+        if replaced is not None:
+            self._index_bytes -= replaced.get("size", 0)
         meta = {
             "file": path.relative_to(self.directory).as_posix(),
             "size": size,
             "seq": self._sequence,
         }
         self._index[key] = meta
+        self._index_bytes += size
         if self.writer_id is not None:
             self._journal_pending.append({"op": "put", "key": key, **meta})
 
@@ -539,17 +551,29 @@ class EvaluationCache:
                 self._persist_index()
 
     # -- maintenance -------------------------------------------------------------
+    def _over_bounds(self) -> bool:
+        """True while the index exceeds the entry-count or byte budget."""
+        if not self._index:
+            return False
+        if self.max_disk_entries is not None and len(self._index) > self.max_disk_entries:
+            return True
+        return (self.max_disk_bytes is not None
+                and self._index_bytes > self.max_disk_bytes)
+
     def _evict_to_bound(self) -> None:
-        """Drop least-recently-used disk entries beyond ``max_disk_entries``.
+        """Drop least-recently-used disk entries beyond the configured
+        bounds (``max_disk_entries`` entries and/or ``max_disk_bytes``
+        total payload bytes, using the per-entry sizes the index records).
 
         The index dict is maintained in recency order (oldest first), so
         each eviction is O(1) — a bounded million-point sweep never pays
         a per-put scan."""
-        if self.max_disk_entries is None or self.directory is None:
+        if (self.max_disk_entries is None and self.max_disk_bytes is None) \
+                or self.directory is None:
             return
-        while len(self._index) > self.max_disk_entries:
+        while self._over_bounds():
             victim = next(iter(self._index))
-            self._index.pop(victim)
+            self._index_bytes -= self._index.pop(victim).get("size", 0)
             self.stats.evictions += 1
             if self.writer_id is not None:
                 self._journal_pending.append({"op": "del", "key": victim})
@@ -602,6 +626,7 @@ class EvaluationCache:
                 }
         # Restore the recency-order invariant (oldest first) for O(1) eviction.
         self._index = dict(sorted(rebuilt.items(), key=lambda kv: kv[1]["seq"]))
+        self._index_bytes = sum(meta["size"] for meta in self._index.values())
         self._sequence = max(
             (meta["seq"] for meta in self._index.values()), default=self._sequence
         )
@@ -634,8 +659,9 @@ class EvaluationCache:
         return {
             "directory": str(self.directory) if self.directory is not None else None,
             "entries": len(self._index),
-            "bytes": sum(meta.get("size", 0) for meta in self._index.values()),
+            "bytes": self._index_bytes,
             "max_disk_entries": self.max_disk_entries,
+            "max_disk_bytes": self.max_disk_bytes,
             "writer_id": self.writer_id,
             "journals": journals,
         }
@@ -654,8 +680,9 @@ def main(argv: Sequence[str] | None = None) -> int:
 
     ``stats DIR`` prints the indexed entry count and byte total;
     ``compact DIR`` re-scans the shards, drops corrupt/orphaned files
-    and rebuilds the index, optionally applying an LRU bound with
-    ``--max-entries N``.  Both print a JSON report to stdout.
+    and rebuilds the index, optionally applying the LRU bounds with
+    ``--max-entries N`` (entry count) and/or ``--max-bytes N`` (total
+    payload bytes).  Both print a JSON report to stdout.
     """
     import argparse
 
@@ -673,6 +700,9 @@ def main(argv: Sequence[str] | None = None) -> int:
     p_compact.add_argument("--max-entries", type=int, default=None,
                            help="evict least-recently-used entries beyond "
                                 "this count during the compact")
+    p_compact.add_argument("--max-bytes", type=int, default=None,
+                           help="evict least-recently-used entries until the "
+                                "indexed payload total fits this byte budget")
     args = parser.parse_args(argv)
 
     if not Path(args.directory).is_dir():
@@ -682,6 +712,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     cache = EvaluationCache(
         directory=args.directory,
         max_disk_entries=getattr(args, "max_entries", None),
+        max_disk_bytes=getattr(args, "max_bytes", None),
     )
     report: dict[str, object] = {"command": args.command}
     if args.command == "compact":

@@ -557,8 +557,21 @@ class EvaluationService:
             await asyncio.get_running_loop().run_in_executor(None, close)
 
     def stats_payload(self) -> dict:
-        """Service, cache and batching configuration counters as JSON."""
-        return {
+        """Service, cache, kernel and batching counters as JSON.
+
+        Always carries ``service``, ``cache``, ``kernel`` (the
+        process-wide leakage-kernel memo aggregate — *this* process
+        only, so under process/distributed executors it reflects the
+        coordinator, not the workers) and ``config``
+        blocks; when the executor is a distributed fleet (anything with
+        a ``stats_payload()`` of its own, e.g.
+        :class:`~repro.engine.distributed.DistributedExecutor`), its
+        counters ride along as a ``distributed`` block so coordinator
+        observability needs no second endpoint.
+        """
+        from ..circuit.biasing import kernel_totals
+
+        payload = {
             "service": self.stats.as_payload(),
             "cache": {
                 "hits": self.cache.stats.hits,
@@ -570,6 +583,7 @@ class EvaluationService:
                 "hit_rate": self.cache.stats.hit_rate,
                 "memory_entries": len(self.cache),
             },
+            "kernel": kernel_totals().as_payload(),
             "config": {
                 "schemes": list(self.scheme_names),
                 "baseline": self.baseline_name,
@@ -582,6 +596,10 @@ class EvaluationService:
                 "in_flight": len(self._in_flight),
             },
         }
+        fleet_stats = getattr(self.executor, "stats_payload", None)
+        if callable(fleet_stats):
+            payload["distributed"] = fleet_stats()
+        return payload
 
 
 # ---------------------------------------------------------------------------
@@ -890,6 +908,9 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--max-disk-entries", type=int, default=None,
                         help="LRU bound on the disk cache entry count "
                              "(requires --cache-dir)")
+    parser.add_argument("--max-disk-bytes", type=int, default=None,
+                        help="LRU byte budget on the disk cache payload "
+                             "total (requires --cache-dir)")
     parser.add_argument("--max-memory-entries", type=int, default=None,
                         help="LRU bound on the in-memory cache layer "
                              "(default: unbounded; set it for long-lived "
@@ -938,12 +959,14 @@ def service_from_args(args: argparse.Namespace) -> EvaluationService:
     if args.cache_dir is not None:
         cache = EvaluationCache(directory=args.cache_dir,
                                 max_disk_entries=args.max_disk_entries,
+                                max_disk_bytes=getattr(args, "max_disk_bytes", None),
                                 max_memory_entries=args.max_memory_entries,
                                 writer_id=getattr(args, "writer_id", None))
-    elif args.max_disk_entries is not None:
+    elif args.max_disk_entries is not None or getattr(args, "max_disk_bytes", None) is not None:
         raise ConfigurationError(
-            "--max-disk-entries bounds the disk store and needs --cache-dir; "
-            "use --max-memory-entries to bound the in-memory cache"
+            "--max-disk-entries/--max-disk-bytes bound the disk store and "
+            "need --cache-dir; use --max-memory-entries to bound the "
+            "in-memory cache"
         )
     elif getattr(args, "writer_id", None) is not None:
         raise ConfigurationError(

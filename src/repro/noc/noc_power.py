@@ -18,6 +18,7 @@ simulation measured to estimate router and network power:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 
 from ..circuit.dynamic import switching_energy
 from ..crossbar.base import CrossbarScheme
@@ -156,6 +157,22 @@ class NocPowerModel:
         )
         return per_cycle / self.scheme.config.output_count
 
+    @cached_property
+    def _buffer_cell_leakage_power(self) -> float:
+        """Leakage power of one buffer bit cell (watts), computed once.
+
+        The library shares the sized devices (``make_transistor`` is
+        memoised per width), so the unique cell bias point is evaluated
+        once and every roll-up multiplies it by the cell count.
+        """
+        nmos = self.library.make_transistor(
+            Polarity.NMOS, VtFlavor.NOMINAL, self.config.bit_cell_width
+        )
+        pmos = self.library.make_transistor(
+            Polarity.PMOS, VtFlavor.NOMINAL, self.config.bit_cell_width
+        )
+        return (nmos.off_current() + pmos.off_current()) * self.library.supply_voltage
+
     def buffer_leakage_per_router(self) -> float:
         """Leakage power of one router's input buffers (watts).
 
@@ -164,19 +181,12 @@ class NocPowerModel:
         SRAM/latch cell), all nominal Vt — reference [1]'s techniques for
         reducing this component are outside this reproduction's scope.
         """
-        nmos = self.library.make_transistor(
-            Polarity.NMOS, VtFlavor.NOMINAL, self.config.bit_cell_width
-        )
-        pmos = self.library.make_transistor(
-            Polarity.PMOS, VtFlavor.NOMINAL, self.config.bit_cell_width
-        )
-        per_cell = (nmos.off_current() + pmos.off_current()) * self.library.supply_voltage
         cells = (
             self.scheme.config.port_count
             * self.config.buffer_depth
             * self.scheme.config.flit_width
         )
-        return per_cell * cells
+        return self._buffer_cell_leakage_power * cells
 
     def link_energy_per_flit(self) -> float:
         """Switching energy of one flit traversing one inter-router link (joules)."""

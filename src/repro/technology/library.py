@@ -98,6 +98,11 @@ class TechnologyLibrary:
     devices: dict[tuple[Polarity, VtFlavor], MosfetParameters]
     clock_frequency: float
     wire_models: dict[str, WireElectricalModel] = field(default_factory=dict)
+    #: The per-library memoised leakage evaluator, attached lazily by
+    #: :func:`repro.circuit.biasing.kernel_for` (typed loosely because
+    #: the circuit layer sits above this one).  Excluded from equality:
+    #: a memo is bookkeeping, not part of the technology point.
+    leakage_kernel: object | None = field(default=None, compare=False, repr=False)
 
     def __post_init__(self) -> None:
         if self.clock_frequency <= 0:
@@ -109,6 +114,11 @@ class TechnologyLibrary:
                 layer: WireElectricalModel.from_geometry(geometry)
                 for layer, geometry in self.node.wires.items()
             }
+        # Shared-device memo: every (polarity, flavor, width) triple this
+        # library has sized before returns the *same* Mosfet object, so
+        # per-device leakage memos hit across call sites (the NoC buffer
+        # model sizes the same bit cell on every evaluation).
+        self._transistor_memo: dict[tuple[Polarity, VtFlavor, float], Mosfet] = {}
 
     # -- device access -------------------------------------------------------
     def device_parameters(self, polarity: Polarity, flavor: VtFlavor) -> MosfetParameters:
@@ -122,13 +132,24 @@ class TechnologyLibrary:
         return self.corner.apply(base)
 
     def make_transistor(self, polarity: Polarity, flavor: VtFlavor, width: float) -> Mosfet:
-        """Instantiate a sized transistor at this library's operating point."""
-        return Mosfet(
-            parameters=self.device_parameters(polarity, flavor),
-            width=width,
-            supply_voltage=self.supply_voltage,
-            temperature=self.operating_condition.temperature_kelvin,
-        )
+        """The sized transistor at this library's operating point.
+
+        Memoised per ``(polarity, flavor, width)``: repeated sizings
+        return the same shared :class:`Mosfet` (callers never mutate
+        devices), which is what lets bias-point memos keyed on device
+        identity hit across schemes and the NoC layer.
+        """
+        key = (polarity, flavor, width)
+        device = self._transistor_memo.get(key)
+        if device is None:
+            device = Mosfet(
+                parameters=self.device_parameters(polarity, flavor),
+                width=width,
+                supply_voltage=self.supply_voltage,
+                temperature=self.operating_condition.temperature_kelvin,
+            )
+            self._transistor_memo[key] = device
+        return device
 
     # -- wires ----------------------------------------------------------------
     def wire_model(self, layer: str = "intermediate") -> WireElectricalModel:

@@ -62,3 +62,26 @@ def test_compact_applies_eviction_bound(tmp_path, capsys):
     # The survivors are still readable through a fresh cache instance.
     reopened = EvaluationCache(directory=directory)
     assert reopened.disk_stats()["entries"] == 2
+
+
+def test_compact_applies_byte_budget(tmp_path, capsys):
+    directory = tmp_path / "cache"
+    filled = _fill(directory, 6)
+    total_bytes = filled.disk_stats()["bytes"]
+    per_entry = total_bytes // 6
+    budget = per_entry * 3 + per_entry // 2  # room for exactly three entries
+
+    assert cache_main(["compact", str(directory), "--max-bytes",
+                       str(budget)]) == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report["max_disk_bytes"] == budget
+    assert report["entries_after_compact"] == 3
+    assert report["evictions"] == 3
+    assert report["bytes"] <= budget
+
+    # The survivors are still readable, and the budget is recorded.
+    reopened = EvaluationCache(directory=directory)
+    stats = reopened.disk_stats()
+    assert stats["entries"] == 3
+    assert stats["bytes"] <= budget
+    assert stats["max_disk_bytes"] is None  # the bound is per instance

@@ -62,7 +62,8 @@ def test_config_paths_doc_covers_every_sweepable_path():
 def test_readme_links_resolve():
     readme = (REPO_ROOT / "README.md").read_text(encoding="utf-8")
     for doc in ("docs/architecture.md", "docs/serving.md",
-                "docs/config_paths.md", "docs/distributed.md"):
+                "docs/config_paths.md", "docs/distributed.md",
+                "docs/performance.md"):
         assert doc in readme
         assert (REPO_ROOT / doc).is_file()
 

@@ -161,6 +161,33 @@ class TestCache:
         assert fresh.get("bbbb2222") is not None
         assert fresh.get("cccc3333") is not None
 
+    def test_byte_budget_evicts_least_recently_used(self, tmp_path):
+        probe = EvaluationCache(directory=tmp_path / "probe")
+        probe.put("aaaa1111", CachedEntry(records=[{"scheme": "SC"}]))
+        per_entry = probe.disk_stats()["bytes"]
+        assert per_entry > 0
+
+        budget = per_entry * 2 + per_entry // 2  # fits exactly two entries
+        cache = EvaluationCache(directory=tmp_path / "cache",
+                                max_disk_bytes=budget)
+        for key in ("aaaa1111", "bbbb2222", "cccc3333"):
+            cache.put(key, CachedEntry(records=[{"scheme": "SC"}]))
+        assert cache.stats.evictions == 1
+        stats = cache.disk_stats()
+        assert stats["bytes"] <= budget
+        assert stats["max_disk_bytes"] == budget
+
+        fresh = EvaluationCache(directory=tmp_path / "cache")
+        assert fresh.get("aaaa1111") is None  # oldest paid for the budget
+        assert fresh.get("bbbb2222") is not None
+        assert fresh.get("cccc3333") is not None
+        # The byte total survives a reopen (rebuilt from the index).
+        assert fresh.disk_stats()["bytes"] <= budget
+
+    def test_byte_budget_validation(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            EvaluationCache(directory=tmp_path, max_disk_bytes=0)
+
     def test_compact_drops_corrupt_entries_and_rebuilds_index(self, tmp_path):
         directory = tmp_path / "cache"
         cache = EvaluationCache(directory=directory)

@@ -468,12 +468,14 @@ def test_max_disk_entries_without_cache_dir_is_rejected():
     with pytest.raises(Exception, match="cache-dir"):
         service_from_args(args)
     assert service_main(["--max-disk-entries", "10"]) == 2
+    assert service_main(["--max-disk-bytes", "4096"]) == 2
 
 
 def test_cli_args_build_the_described_service(tmp_path):
     args = _build_parser().parse_args([
         "--schemes", "SC,SDPC", "--baseline", "SC", "--executor", "serial",
         "--cache-dir", str(tmp_path / "cli-cache"), "--max-disk-entries", "9",
+        "--max-disk-bytes", "65536",
         "--batch-size", "5", "--flush-interval", "0.5",
     ])
     service = service_from_args(args)
@@ -483,6 +485,7 @@ def test_cli_args_build_the_described_service(tmp_path):
     assert isinstance(service.executor, SerialExecutor)
     assert isinstance(service.cache, EvaluationCache)
     assert service.cache.max_disk_entries == 9
+    assert service.cache.max_disk_bytes == 65536
     assert (tmp_path / "cli-cache").is_dir()
 
 
@@ -498,6 +501,37 @@ def test_stats_payload_is_json_safe():
     round_tripped = json.loads(json.dumps(payload))
     assert round_tripped["service"]["evaluated"] == 1
     assert round_tripped["config"]["executor"] == "serial"
+    # The leakage-kernel block rides along for hot-path observability.
+    kernel = round_tripped["kernel"]
+    assert set(kernel) == {"hits", "misses", "hit_rate"}
+    assert kernel["misses"] > 0  # the evaluation above touched the kernel
+    # Plain executors contribute no fleet block.
+    assert "distributed" not in round_tripped
+
+
+def test_stats_payload_exposes_distributed_fleet():
+    """An executor with stats_payload() (the distributed fleet contract)
+    surfaces as a ``distributed`` block in GET /stats."""
+
+    class FleetExecutor(RecordingExecutor):
+        name = "fleet"
+
+        def stats_payload(self):
+            return {"workers_registered": 2,
+                    "workers": {"w0": {"completed": 3}}}
+
+    async def scenario():
+        service = make_service(executor=FleetExecutor(), max_batch_size=1)
+        await service.evaluate({"static_probability": 0.4})
+        payload = service.stats_payload()
+        await service.stop()
+        return payload
+
+    payload = asyncio.run(scenario())
+    round_tripped = json.loads(json.dumps(payload))
+    assert round_tripped["distributed"]["workers_registered"] == 2
+    assert round_tripped["distributed"]["workers"]["w0"]["completed"] == 3
+    assert round_tripped["config"]["executor"] == "fleet"
 
 
 # ---------------------------------------------------------------------------
